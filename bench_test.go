@@ -1,0 +1,179 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (DESIGN.md §3 maps each to its experiment). Analytical
+// benchmarks regenerate their result from the models every iteration; the
+// simulation-backed figure benchmarks run the performance simulator at a
+// reduced benchmark scale (two representative workloads, short runs) so
+// `go test -bench=.` completes in minutes while exercising the identical
+// code path as the full reproduction.
+package impress_test
+
+import (
+	"io"
+	"testing"
+
+	"impress/internal/experiments"
+)
+
+// benchScale is a trimmed scale for benchmark iterations.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name: "bench", Warmup: 10_000, Run: 50_000,
+		Workloads: []string{"gcc", "copy"},
+	}
+}
+
+func render(b *testing.B, t *experiments.Table) {
+	b.Helper()
+	if len(t.Rows) == 0 {
+		b.Fatalf("%s produced no rows", t.ID)
+	}
+	t.Render(io.Discard)
+}
+
+// --- Tables ---
+
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.TableI())
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.TableII())
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.TableIII())
+	}
+}
+
+// --- Model figures (analytical) ---
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure4())
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure6())
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure7())
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure8())
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure12())
+	}
+}
+
+// --- Security-harness figures ---
+
+func BenchmarkEquation5WorstCase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.ImpressNWorstCase())
+	}
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure18())
+	}
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure19())
+	}
+}
+
+func BenchmarkStorageTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.StorageTable())
+	}
+}
+
+func BenchmarkSecuritySummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.SecuritySummary())
+	}
+}
+
+// --- Simulation-backed figures (benchmark scale) ---
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure3(experiments.NewRunner(benchScale())))
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure5(experiments.NewRunner(benchScale())))
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure13(experiments.NewRunner(benchScale())))
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure14(experiments.NewRunner(benchScale())))
+	}
+}
+
+func BenchmarkEnergyTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.EnergyTable(experiments.NewRunner(benchScale())))
+	}
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure15(experiments.NewRunner(benchScale())))
+	}
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.Figure16(experiments.NewRunner(benchScale())))
+	}
+}
+
+// --- Extension experiments ---
+
+func BenchmarkPRACTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.PRACTable())
+	}
+}
+
+func BenchmarkRelatedWorkDSAC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.RelatedWorkDSAC())
+	}
+}
+
+func BenchmarkAblationRFMPacing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		render(b, experiments.AblationRFMPacing())
+	}
+}

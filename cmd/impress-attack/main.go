@@ -1,0 +1,150 @@
+// Command impress-attack replays an adversarial DRAM pattern against a
+// (tracker, defense) pair on the single-bank security harness and reports
+// the peak victim damage — the empirical effective threshold of the
+// configuration.
+//
+// Examples:
+//
+//	impress-attack -pattern rowpress -ton-trc 81 -tracker graphene -design no-rp
+//	impress-attack -pattern decoy -tracker graphene -design impress-n
+//	impress-attack -pattern combined -k 72 -tracker graphene -design impress-p
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"impress/internal/attack"
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/security"
+	"impress/internal/stats"
+	"impress/internal/trackers"
+)
+
+func main() {
+	patternFlag := flag.String("pattern", "rowhammer", "attack: rowhammer, rowpress, decoy, combined, interleaved, or search (sweep all strategies)")
+	tonTRC := flag.Int64("ton-trc", 81, "rowpress row-open time in tRC units")
+	k := flag.Int64("k", 0, "combined-pattern Row-Press parameter K")
+	trackerFlag := flag.String("tracker", "graphene", "tracker: graphene, para, mithril, mint")
+	designFlag := flag.String("design", "no-rp", "defense: no-rp, express, impress-n, impress-p")
+	alphaDesign := flag.Float64("alpha", 1.0, "design alpha (express/impress-n retuning)")
+	alphaTrue := flag.Float64("alpha-true", 0.48, "true device leakage rate for damage accounting")
+	trh := flag.Float64("trh", 4000, "device Rowhammer threshold")
+	rfmth := flag.Int("rfmth", 80, "RFM threshold for in-DRAM trackers")
+	fracBits := flag.Int("fracbits", 7, "ImPress-P fractional bits")
+	seed := flag.Uint64("seed", 1, "seed for probabilistic trackers")
+	windows := flag.Int64("windows", 1, "attack duration in refresh windows (tREFW)")
+	flag.Parse()
+
+	tm := dram.DDR5()
+	design, err := parseDesign(*designFlag, *alphaDesign, *fracBits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	factoryEarly, err := parseTracker(*trackerFlag, *rfmth, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *patternFlag == "search" {
+		cfg := security.Config{
+			Design: design, DesignTRH: *trh, AlphaTrue: *alphaTrue,
+			RFMTH: *rfmth, Duration: dram.Tick(*windows) * tm.TREFW,
+			Tracker: factoryEarly,
+		}
+		sr := security.SearchWorstCase(cfg)
+		fmt.Printf("%-24s %-12s %s\n", "strategy", "peak damage", "verdict")
+		for _, r := range sr.All {
+			verdict := "contained"
+			if r.MaxDamage >= *trh {
+				verdict = "BIT FLIP"
+			}
+			fmt.Printf("%-24s %-12.1f %s\n", r.Pattern, r.MaxDamage, verdict)
+		}
+		fmt.Printf("\nworst case: %s (%.1f / TRH %.0f)\n", sr.BestPattern, sr.BestResult.MaxDamage, *trh)
+		return
+	}
+
+	var pattern attack.Pattern
+	switch *patternFlag {
+	case "rowhammer":
+		pattern = &attack.Rowhammer{Row: 1 << 20, Timings: tm}
+	case "rowpress":
+		pattern = &attack.RowPress{Row: 1 << 20, TON: dram.Tick(*tonTRC) * tm.TRC, Timings: tm}
+	case "decoy":
+		pattern = &attack.Decoy{Row: 1 << 20, DecoyRow: 1 << 24, Spread: 8192, Timings: tm}
+	case "combined":
+		pattern = &attack.CombinedK{Row: 1 << 20, K: *k, Timings: tm}
+	case "interleaved":
+		pattern = &attack.InterleavedRHRP{Row: 1 << 20, BurstLen: 16, HoldTON: 8 * tm.TRC, Timings: tm}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *patternFlag)
+		os.Exit(2)
+	}
+
+	factory := factoryEarly
+
+	cfg := security.Config{
+		Design:    design,
+		DesignTRH: *trh,
+		AlphaTrue: *alphaTrue,
+		RFMTH:     *rfmth,
+		Duration:  dram.Tick(*windows) * tm.TREFW,
+		Tracker:   factory,
+	}
+	res := security.Run(cfg, pattern)
+
+	fmt.Printf("pattern:          %s\n", res.Pattern)
+	fmt.Printf("design:           %s (tracker tuned to T*=%.0f)\n", design.Name(), design.TrackerTRH(*trh))
+	fmt.Printf("device alpha:     %.2f\n", *alphaTrue)
+	fmt.Printf("peak damage:      %.1f / TRH %.0f\n", res.MaxDamage, *trh)
+	if res.MaxDamage >= *trh {
+		fmt.Printf("verdict:          BIT FLIP (attack succeeds)\n")
+	} else {
+		fmt.Printf("verdict:          contained (margin %.1fx)\n", *trh/res.MaxDamage)
+	}
+	fmt.Printf("demand ACTs:      %d\n", res.DemandACTs)
+	fmt.Printf("mitigations:      %d (%d mitigative ACTs)\n", res.Mitigations, res.MitigativeACTs)
+	fmt.Printf("RFMs / refreshes: %d / %d\n", res.RFMs, res.Refreshes)
+	fmt.Printf("attack slowdown:  %.2f%%\n", 100*res.Slowdown())
+}
+
+func parseDesign(name string, alpha float64, fracBits int) (core.Design, error) {
+	var d core.Design
+	switch name {
+	case "no-rp":
+		d = core.NewDesign(core.NoRP)
+	case "express":
+		d = core.NewDesign(core.ExPress).WithAlpha(alpha)
+	case "impress-n":
+		d = core.NewDesign(core.ImpressN).WithAlpha(alpha)
+	case "impress-p":
+		d = core.NewDesign(core.ImpressP).WithFracBits(fracBits)
+	default:
+		return d, fmt.Errorf("unknown design %q", name)
+	}
+	return d, d.Validate()
+}
+
+func parseTracker(name string, rfmth int, seed uint64) (security.TrackerFactory, error) {
+	switch name {
+	case "graphene":
+		return func(trh float64) trackers.Tracker { return trackers.NewGraphene(trh) }, nil
+	case "para":
+		return func(trh float64) trackers.Tracker {
+			return trackers.NewPARA(trh, stats.NewRand(seed))
+		}, nil
+	case "mithril":
+		return func(trh float64) trackers.Tracker { return trackers.NewMithril(trh, rfmth) }, nil
+	case "mint":
+		return func(trh float64) trackers.Tracker {
+			return trackers.NewMINT(rfmth, stats.NewRand(seed))
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown tracker %q", name)
+	}
+}

@@ -1,0 +1,128 @@
+// Command impress-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	impress-experiments [-scale quick|full] [-only fig3,fig13,...] [-out DIR]
+//
+// With -out, each experiment is additionally written to DIR/<id>.txt.
+// The analytical experiments (charge-loss model, security harness,
+// storage, attack equations) take seconds; the simulation-backed figures
+// (fig3, fig5, fig13, fig14, energy, fig15, fig16) take minutes at -scale
+// full.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"impress/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "simulation scale: quick, standard, or full")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	outDir := flag.String("out", "", "directory to write per-experiment text files")
+	analytical := flag.Bool("analytical", false, "run only the analytical (no-simulation) experiments")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "standard":
+		scale = experiments.StandardScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick, standard, or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	emit := func(t *experiments.Table) {
+		t.Render(os.Stdout)
+		if *outDir != "" {
+			if err := writeTable(*outDir, t); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *analytical {
+		for _, t := range experiments.Analytical() {
+			if len(want) > 0 && !want[t.ID] {
+				continue
+			}
+			emit(t)
+		}
+		return
+	}
+	runner := experiments.NewRunner(scale)
+	// Build lazily so -only skips expensive experiments entirely; emit each
+	// table as soon as it is ready so long runs produce partial results.
+	for _, spec := range experimentList(runner) {
+		if len(want) > 0 && !want[spec.id] {
+			continue
+		}
+		start := time.Now()
+		t := spec.build()
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", spec.id, time.Since(start).Round(time.Millisecond))
+		emit(t)
+	}
+}
+
+type spec struct {
+	id    string
+	build func() *experiments.Table
+}
+
+func experimentList(r *experiments.Runner) []spec {
+	return []spec{
+		{"table1", experiments.TableI},
+		{"table2", experiments.TableII},
+		{"fig3", func() *experiments.Table { return experiments.Figure3(r) }},
+		{"fig4", experiments.Figure4},
+		{"fig5", func() *experiments.Table { return experiments.Figure5(r) }},
+		{"fig6", experiments.Figure6},
+		{"fig7", experiments.Figure7},
+		{"fig8", experiments.Figure8},
+		{"eq5", experiments.ImpressNWorstCase},
+		{"fig12", experiments.Figure12},
+		{"fig13", func() *experiments.Table { return experiments.Figure13(r) }},
+		{"table3", experiments.TableIII},
+		{"fig14", func() *experiments.Table { return experiments.Figure14(r) }},
+		{"energy", func() *experiments.Table { return experiments.EnergyTable(r) }},
+		{"fig15", func() *experiments.Table { return experiments.Figure15(r) }},
+		{"fig16", func() *experiments.Table { return experiments.Figure16(r) }},
+		{"fig18", experiments.Figure18},
+		{"fig19", experiments.Figure19},
+		{"storage", experiments.StorageTable},
+		{"security", experiments.SecuritySummary},
+		{"prac", experiments.PRACTable},
+		{"dsac", experiments.RelatedWorkDSAC},
+		{"ablation-rfm", experiments.AblationRFMPacing},
+	}
+}
+
+func writeTable(dir string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t.Render(f)
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command impress-sim runs one performance simulation: a workload on the
+// Table II system with a chosen Rowhammer tracker and Row-Press defense,
+// printing IPC and memory-system statistics.
+//
+// Examples:
+//
+//	impress-sim -workload copy -tracker graphene -design impress-p
+//	impress-sim -workload mcf -tracker para -design express -tmro 96
+//	impress-sim -workload add -tracker mint -design impress-n -alpha 0.35 -rfmth 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/sim"
+	"impress/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "copy", "workload name (see -list)")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	trackerFlag := flag.String("tracker", "graphene", "tracker: none, graphene, para, mithril, mint")
+	designFlag := flag.String("design", "no-rp", "defense: no-rp, express, impress-n, impress-p")
+	alpha := flag.Float64("alpha", 1.0, "CLM alpha for express/impress-n threshold retuning")
+	tmroNs := flag.Int64("tmro", 0, "ExPress tMRO in ns (default tRAS+tRC)")
+	fracBits := flag.Int("fracbits", 7, "ImPress-P fractional EACT bits")
+	trh := flag.Float64("trh", 4000, "design Rowhammer threshold")
+	rfmth := flag.Int("rfmth", 80, "RFM threshold (in-DRAM trackers)")
+	warmup := flag.Int64("warmup", 100_000, "warmup instructions per core")
+	run := flag.Int64("instructions", 500_000, "measured instructions per core")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		for _, w := range trace.Workloads() {
+			class := "spec"
+			if w.Stream {
+				class = "stream"
+			}
+			fmt.Printf("%-12s %s\n", w.Name, class)
+		}
+		return
+	}
+
+	w, err := trace.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	design, err := parseDesign(*designFlag, *alpha, *tmroNs, *fracBits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig(w, design, sim.TrackerKind(*trackerFlag))
+	cfg.DesignTRH = *trh
+	cfg.RFMTH = *rfmth
+	cfg.WarmupInstructions = *warmup
+	cfg.RunInstructions = *run
+	cfg.Seed = *seed
+
+	res := sim.Run(cfg)
+	m := res.Mem
+	fmt.Printf("workload:        %s\n", res.Workload)
+	fmt.Printf("design:          %s\n", design.Name())
+	fmt.Printf("tracker:         %s (tuned to T*=%.0f)\n", *trackerFlag, design.TrackerTRH(*trh))
+	fmt.Printf("IPC (sum/core):  %.3f", res.WeightedIPCSum)
+	for _, ipc := range res.IPC {
+		fmt.Printf(" %.3f", ipc)
+	}
+	fmt.Println()
+	fmt.Printf("cycles:          %d\n", res.Cycles)
+	fmt.Printf("LLC hit rate:    %.3f\n", res.LLCHitRate)
+	rbTotal := m.RowHits + m.RowMisses
+	if rbTotal > 0 {
+		fmt.Printf("row-buffer hits: %.3f (%d hits / %d misses / %d conflicts)\n",
+			float64(m.RowHits)/float64(rbTotal), m.RowHits, m.RowMisses, m.RowConflicts)
+	}
+	fmt.Printf("demand ACTs:     %d\n", m.DemandACTs)
+	fmt.Printf("mitigative ACTs: %d (%d mitigations)\n", m.MitigativeACTs, m.Mitigations)
+	fmt.Printf("synthetic ACTs:  %d (ImPress window/EACT events)\n", m.SyntheticACTs)
+	fmt.Printf("forced closures: %d (tMRO/tONMax)\n", m.ForcedClosures)
+	fmt.Printf("refreshes/RFMs:  %d / %d\n", m.Refreshes, m.RFMs)
+	if m.Reads > 0 {
+		avgNs := float64(m.ReadLatencySum) / float64(m.Reads) / float64(dram.TicksPerNs)
+		fmt.Printf("avg read lat:    %.1f ns\n", avgNs)
+	}
+}
+
+func parseDesign(name string, alpha float64, tmroNs int64, fracBits int) (core.Design, error) {
+	var d core.Design
+	switch name {
+	case "no-rp":
+		d = core.NewDesign(core.NoRP)
+	case "express":
+		d = core.NewDesign(core.ExPress).WithAlpha(alpha)
+		if tmroNs > 0 {
+			d = d.WithTMRO(dram.Ns(tmroNs))
+		}
+	case "impress-n":
+		d = core.NewDesign(core.ImpressN).WithAlpha(alpha)
+	case "impress-p":
+		d = core.NewDesign(core.ImpressP).WithFracBits(fracBits)
+	default:
+		return d, fmt.Errorf("unknown design %q", name)
+	}
+	return d, d.Validate()
+}

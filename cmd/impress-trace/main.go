@@ -1,0 +1,50 @@
+// Command impress-trace inspects the synthetic workload generators: it
+// drains a sample from each workload and prints the measured memory
+// intensity, write share, sequential locality, MOP-group locality and
+// footprint — the calibration targets behind the paper's SPEC/STREAM
+// split (DESIGN.md §1).
+//
+// Usage:
+//
+//	impress-trace [-n 100000] [-workload copy]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"impress/internal/trace"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "requests to sample per workload")
+	name := flag.String("workload", "", "single workload to characterize (default: all)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	flag.Parse()
+
+	var workloads []trace.Workload
+	if *name != "" {
+		w, err := trace.WorkloadByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		workloads = []trace.Workload{w}
+	} else {
+		workloads = trace.Workloads()
+	}
+
+	fmt.Printf("%-12s %-6s %9s %8s %6s %6s %10s\n",
+		"workload", "class", "acc/KI", "writes", "seq", "MOP", "footprint")
+	for _, w := range workloads {
+		c := trace.Characterize(w.NewGenerator(0, *seed), *n)
+		class := "spec"
+		if w.Stream {
+			class = "stream"
+		}
+		fmt.Printf("%-12s %-6s %9.1f %7.0f%% %5.0f%% %5.0f%% %8d MB\n",
+			w.Name, class, c.AccessesPerKI, 100*c.WriteFraction,
+			100*c.SeqFraction, 100*c.MOPGroupHitFraction, c.FootprintBytes>>20)
+	}
+}

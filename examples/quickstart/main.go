@@ -1,0 +1,54 @@
+// Quickstart: the unified charge-loss model and the ImPress-P conversion
+// of Row-Press time into equivalent activations.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"impress/internal/clm"
+	"impress/internal/dram"
+)
+
+func main() {
+	tm := dram.DDR5()
+
+	// 1. The unified charge-loss model (Section IV): one number for any
+	// interleaving of Rowhammer and Row-Press.
+	model := clm.New(clm.AlphaLongDuration) // alpha = 0.48 covers all devices
+	pattern := []clm.Access{
+		{TON: tm.TRAS},            // a plain Rowhammer activation
+		{TON: tm.TRAS + 4*tm.TRC}, // a short Row-Press hold
+		{TON: tm.TREFI},           // a full-tREFI Row-Press hold
+	}
+	fmt.Printf("pattern damage: %.1f activation-equivalents over %.1f us\n",
+		model.PatternTCL(pattern),
+		float64(model.PatternTime(pattern).ToNs())/1000)
+
+	// 2. Why Row-Press breaks Rowhammer defenses: rounds needed to flip a
+	// bit at TRH = 4000 as the row-open time grows.
+	fmt.Println("\nactivations needed for a bit flip (TRH = 4000):")
+	for _, tonTRC := range []int64{1, 2, 8, 81, 406} {
+		tON := tm.TRAS + dram.Tick(tonTRC-1)*tm.TRC
+		rounds := model.RoundsToFlip(tON, 4000)
+		fmt.Printf("  tON = %4d tRC: %6d rounds (%.0fx fewer than Rowhammer)\n",
+			tonTRC, rounds, 4000/float64(rounds))
+	}
+
+	// 3. ImPress-P's fix: measure tON, convert to an Equivalent
+	// Activation Count, and feed the existing Rowhammer tracker.
+	calc := clm.NewCalculator(tm)
+	fmt.Println("\nImPress-P EACT conversion (Fig. 11):")
+	for _, tON := range []dram.Tick{tm.TRAS, tm.TRAS + tm.TRC/2, tm.TRAS + tm.TRC, tm.TREFI} {
+		e := calc.FromTON(tON)
+		fmt.Printf("  tON = %6d ns -> EACT = %.3f\n", tON.ToNs(), e.Float())
+	}
+
+	// 4. The precision knob (Fig. 12): fractional bits vs effective
+	// threshold.
+	fmt.Println("\neffective threshold vs fractional EACT bits:")
+	for _, b := range []int{0, 4, 6, 7} {
+		fmt.Printf("  b = %d: T*/TRH = %.3f\n", b, clm.FracBitsEffectiveThreshold(b))
+	}
+}

@@ -1,0 +1,57 @@
+// This example reproduces the Fig. 3 phenomenon on the full performance
+// simulator: limiting row-open time (tMRO, the ExPress approach) slows
+// streaming workloads by cutting row-buffer hits, while pointer-chasing
+// workloads barely notice — and ImPress-P needs no limit at all.
+//
+// Run with: go run ./examples/tmro-sweep
+package main
+
+import (
+	"fmt"
+
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/sim"
+	"impress/internal/trace"
+)
+
+func main() {
+	workloads := []string{"copy", "mcf"} // one streaming, one irregular
+	tmros := []int64{36, 66, 96, 186, 336, 636}
+
+	for _, name := range workloads {
+		w, err := trace.WorkloadByName(name)
+		if err != nil {
+			panic(err)
+		}
+		base := run(w, core.NewDesign(core.NoRP))
+		baseHits := rowBufferHitRate(base)
+		fmt.Printf("%s: baseline row-buffer hit rate %.2f\n", name, baseHits)
+		fmt.Printf("  %-12s %-12s %-12s %s\n", "tMRO (ns)", "perf", "rb hit rate", "forced closures")
+		for _, ns := range tmros {
+			design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(ns)).WithEmpiricalThreshold()
+			res := run(w, design)
+			fmt.Printf("  %-12d %-12.3f %-12.3f %d\n",
+				ns, res.NormalizeTo(base), rowBufferHitRate(res), res.Mem.ForcedClosures)
+		}
+		// ImPress-P for contrast: no tON limit, no closures, no slowdown.
+		resP := run(w, core.NewDesign(core.ImpressP))
+		fmt.Printf("  %-12s %-12.3f %-12.3f %d\n\n",
+			"impress-p", resP.NormalizeTo(base), rowBufferHitRate(resP), resP.Mem.ForcedClosures)
+	}
+}
+
+func run(w trace.Workload, d core.Design) sim.Result {
+	cfg := sim.DefaultConfig(w, d, sim.TrackerNone)
+	cfg.WarmupInstructions = 50_000
+	cfg.RunInstructions = 250_000
+	return sim.Run(cfg)
+}
+
+func rowBufferHitRate(r sim.Result) float64 {
+	total := r.Mem.RowHits + r.Mem.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Mem.RowHits) / float64(total)
+}

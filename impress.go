@@ -1,0 +1,268 @@
+// Package impress is the public API of the ImPress reproduction: implicit
+// Row-Press mitigation for DRAM (Qureshi, Saxena, Jaleel — MICRO 2024).
+//
+// The package re-exports the library's main entry points so downstream
+// users need not reach into internal packages:
+//
+//   - the Unified Charge-Loss Model (Model, NewModel, EACT arithmetic);
+//   - the Row-Press defense designs (Design: NoRP, ExPress, ImpressN,
+//     ImpressP) and their per-bank event policies;
+//   - the four Rowhammer trackers (Graphene, PARA, Mithril, MINT);
+//   - the single-bank security harness (AttackConfig, RunAttack) and the
+//     adversarial patterns;
+//   - the full-system performance simulator (SimConfig, RunSim) with the
+//     paper's 20 synthetic workloads;
+//   - the experiment harness that regenerates every table and figure
+//     (Experiments, QuickScale, FullScale).
+//
+// Quick start:
+//
+//	model := impress.NewModel(impress.AlphaLongDuration)
+//	damage := model.AccessTCL(impress.DDR5().TREFI) // one long RP access
+//
+//	design := impress.NewDesign(impress.ImpressP)
+//	cfg := impress.AttackConfig{
+//	    Design:    design,
+//	    DesignTRH: 4000,
+//	    AlphaTrue: 1,
+//	    Tracker:   func(trh float64) impress.Tracker { return impress.NewGraphene(trh) },
+//	}
+//	res := impress.RunAttack(cfg, &impress.RowPressPattern{Row: 1, TON: impress.DDR5().TREFI, Timings: impress.DDR5()})
+//	fmt.Println(res.MaxDamage) // bounded near TRH/3: contained
+//
+// See the runnable programs under examples/ for complete scenarios and
+// DESIGN.md / EXPERIMENTS.md for the reproduction methodology.
+package impress
+
+import (
+	"impress/internal/attack"
+	"impress/internal/clm"
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/experiments"
+	"impress/internal/security"
+	"impress/internal/sim"
+	"impress/internal/stats"
+	"impress/internal/trace"
+	"impress/internal/trackers"
+)
+
+// ---- Charge-loss model (paper Section IV) ----
+
+// Model is the Conservative Linear Model of Equation 3.
+type Model = clm.Model
+
+// EACT is a fixed-point Equivalent Activation Count (7 fractional bits).
+type EACT = clm.EACT
+
+// EACTCalculator converts row-open times into EACT values (Fig. 11).
+type EACTCalculator = clm.Calculator
+
+// Charge-leakage slopes from the paper.
+const (
+	AlphaShortDuration     = clm.AlphaShortDuration     // 0.35
+	AlphaLongDuration      = clm.AlphaLongDuration      // 0.48
+	AlphaDeviceIndependent = clm.AlphaDeviceIndependent // 1.0
+)
+
+// One is the fixed-point representation of a single activation.
+const One = clm.One
+
+// NewModel returns a CLM with the given alpha over DDR5 timings.
+func NewModel(alpha float64) Model { return clm.New(alpha) }
+
+// NewEACTCalculator returns a full-precision EACT calculator.
+func NewEACTCalculator(t Timings) EACTCalculator { return clm.NewCalculator(t) }
+
+// FracBitsEffectiveThreshold is the Fig. 12 precision/threshold trade-off.
+func FracBitsEffectiveThreshold(bits int) float64 {
+	return clm.FracBitsEffectiveThreshold(bits)
+}
+
+// ---- DRAM substrate ----
+
+// Tick is the 125 ps simulation time unit.
+type Tick = dram.Tick
+
+// Timings is the DDR5 timing set (paper Table I).
+type Timings = dram.Timings
+
+// DDR5 returns the paper's Table I timings.
+func DDR5() Timings { return dram.DDR5() }
+
+// Ns converts nanoseconds to ticks.
+func Ns(ns int64) Tick { return dram.Ns(ns) }
+
+// ---- Defense designs (the paper's contribution) ----
+
+// Design is a Row-Press defense configuration.
+type Design = core.Design
+
+// DesignKind selects among the paper's designs.
+type DesignKind = core.Kind
+
+// The four designs analyzed by the paper.
+const (
+	NoRP     = core.NoRP
+	ExPress  = core.ExPress
+	ImpressN = core.ImpressN
+	ImpressP = core.ImpressP
+)
+
+// NewDesign returns a design with the paper's default parameters.
+func NewDesign(kind DesignKind) Design { return core.NewDesign(kind) }
+
+// BankPolicy is the per-bank defense state machine.
+type BankPolicy = core.BankPolicy
+
+// NewBankPolicy builds the per-bank policy for a design.
+func NewBankPolicy(d Design) BankPolicy { return core.NewBankPolicy(d) }
+
+// ---- Trackers (paper Section II-C) ----
+
+// Tracker is the common aggressor-tracking interface.
+type Tracker = trackers.Tracker
+
+// Rand is the deterministic PRNG used by probabilistic trackers.
+type Rand = stats.Rand
+
+// NewRand returns a seeded deterministic generator.
+func NewRand(seed uint64) *Rand { return stats.NewRand(seed) }
+
+// NewGraphene returns a Misra-Gries tracker tolerating trh.
+func NewGraphene(trh float64) Tracker { return trackers.NewGraphene(trh) }
+
+// NewPARA returns a probabilistic tracker tolerating trh.
+func NewPARA(trh float64, rng *Rand) Tracker { return trackers.NewPARA(trh, rng) }
+
+// NewMithril returns an in-DRAM counter tracker tolerating trh at the
+// given RFM threshold.
+func NewMithril(trh float64, rfmth int) Tracker { return trackers.NewMithril(trh, rfmth) }
+
+// NewMINT returns the single-entry in-DRAM tracker at the given RFM
+// threshold (tolerating 20x RFMTH).
+func NewMINT(rfmth int, rng *Rand) Tracker { return trackers.NewMINT(rfmth, rng) }
+
+// MINTToleratedTRH is MINT's figure of merit.
+func MINTToleratedTRH(rfmth int) float64 { return trackers.MINTToleratedTRH(rfmth) }
+
+// NewPRAC returns a Per-Row Activation Counting tracker tolerating trh
+// (the JEDEC DDR5 mechanism of Section VI-F; compose with ImPress-P for
+// Row-Press protection).
+func NewPRAC(trh float64) Tracker { return trackers.NewPRAC(trh) }
+
+// ---- Security harness (paper Sections V-VI, Appendix B) ----
+
+// AttackConfig describes one security experiment.
+type AttackConfig = security.Config
+
+// AttackResult is the harness output.
+type AttackResult = security.Result
+
+// AttackTrackerFactory builds per-run trackers for the security harness.
+type AttackTrackerFactory = security.TrackerFactory
+
+// RunAttack replays a pattern against a (defense, tracker) pair.
+func RunAttack(cfg AttackConfig, p AttackPattern) AttackResult {
+	return security.Run(cfg, p)
+}
+
+// AttackPattern generates an adversarial access sequence.
+type AttackPattern = attack.Pattern
+
+// MonteCarloResult summarizes a reliability-trial ensemble.
+type MonteCarloResult = security.MonteCarloResult
+
+// SeededTrackerFactory builds trackers from explicit seeds for
+// Monte-Carlo trials.
+type SeededTrackerFactory = security.SeededTrackerFactory
+
+// MonteCarlo estimates empirical failure fractions over independent
+// attack trials (the paper's 0.1 FIT reliability methodology).
+func MonteCarlo(cfg AttackConfig, newPattern func() AttackPattern,
+	newTracker SeededTrackerFactory, trials int, baseSeed uint64) MonteCarloResult {
+	return security.MonteCarlo(cfg, newPattern, newTracker, trials, baseSeed)
+}
+
+// SearchResult is a worst-case attack-search outcome.
+type SearchResult = security.SearchResult
+
+// SearchWorstCase sweeps the attacker strategy grid (Rowhammer, Row-Press
+// tON grid, decoy, combined loops) and returns the maximizing pattern.
+func SearchWorstCase(cfg AttackConfig) SearchResult {
+	return security.SearchWorstCase(cfg)
+}
+
+// The paper's attack patterns.
+type (
+	// RowhammerPattern is the classic fast-activation attack.
+	RowhammerPattern = attack.Rowhammer
+	// RowPressPattern holds the row open for a fixed time per round.
+	RowPressPattern = attack.RowPress
+	// DecoyPattern is the Fig. 10 worst case against ImPress-N.
+	DecoyPattern = attack.Decoy
+	// CombinedPattern is the parameterized Fig. 17 RH+RP loop.
+	CombinedPattern = attack.CombinedK
+)
+
+// ---- Performance simulator (paper Section III) ----
+
+// SimConfig describes one full-system simulation.
+type SimConfig = sim.Config
+
+// SimResult is the simulation output.
+type SimResult = sim.Result
+
+// TrackerKind names a tracker for the simulator.
+type TrackerKind = sim.TrackerKind
+
+// Simulator tracker choices.
+const (
+	TrackerNone     = sim.TrackerNone
+	TrackerGraphene = sim.TrackerGraphene
+	TrackerPARA     = sim.TrackerPARA
+	TrackerMithril  = sim.TrackerMithril
+	TrackerMINT     = sim.TrackerMINT
+)
+
+// Workload is a named synthetic workload.
+type Workload = trace.Workload
+
+// Workloads returns the paper's 20-workload evaluation list.
+func Workloads() []Workload { return trace.Workloads() }
+
+// WorkloadByName looks up one workload.
+func WorkloadByName(name string) (Workload, error) { return trace.WorkloadByName(name) }
+
+// DefaultSimConfig returns the Table II system for a workload/defense.
+func DefaultSimConfig(w Workload, d Design, tracker TrackerKind) SimConfig {
+	return sim.DefaultConfig(w, d, tracker)
+}
+
+// RunSim executes a performance simulation.
+func RunSim(cfg SimConfig) SimResult { return sim.Run(cfg) }
+
+// ---- Experiment harness ----
+
+// ExperimentTable is one regenerated table/figure.
+type ExperimentTable = experiments.Table
+
+// ExperimentScale controls simulation length.
+type ExperimentScale = experiments.Scale
+
+// QuickScale is the CI-sized experiment scale.
+func QuickScale() ExperimentScale { return experiments.QuickScale() }
+
+// StandardScale is the all-workload scale EXPERIMENTS.md reports.
+func StandardScale() ExperimentScale { return experiments.StandardScale() }
+
+// FullScale is the complete-reproduction scale.
+func FullScale() ExperimentScale { return experiments.FullScale() }
+
+// Experiments regenerates every table and figure at the given scale.
+func Experiments(scale ExperimentScale) []*ExperimentTable {
+	return experiments.All(experiments.NewRunner(scale))
+}
+
+// AnalyticalExperiments regenerates the simulation-free subset.
+func AnalyticalExperiments() []*ExperimentTable { return experiments.Analytical() }

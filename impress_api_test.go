@@ -1,0 +1,155 @@
+package impress_test
+
+import (
+	"math"
+	"testing"
+
+	"impress"
+)
+
+// These tests exercise the public facade end to end: a downstream user of
+// the library should be able to reproduce the paper's headline claims
+// through the impress package alone.
+
+func TestPublicModelAPI(t *testing.T) {
+	tm := impress.DDR5()
+	model := impress.NewModel(impress.AlphaLongDuration)
+	if got := model.AccessTCL(tm.TRAS); got != 1 {
+		t.Fatalf("AccessTCL(tRAS) = %v", got)
+	}
+	calc := impress.NewEACTCalculator(tm)
+	if got := calc.FromTON(tm.TRAS + tm.TRC); got != 2*impress.One {
+		t.Fatalf("EACT(tRAS+tRC) = %v, want 2", got)
+	}
+	if impress.FracBitsEffectiveThreshold(7) != 1 {
+		t.Fatal("7 fractional bits must be exact")
+	}
+}
+
+func TestPublicAttackAPIHeadline(t *testing.T) {
+	tm := impress.DDR5()
+	const trh = 4000
+	run := func(kind impress.DesignKind) float64 {
+		cfg := impress.AttackConfig{
+			Design:    impress.NewDesign(kind),
+			DesignTRH: trh,
+			AlphaTrue: impress.AlphaLongDuration,
+			Tracker:   func(t float64) impress.Tracker { return impress.NewGraphene(t) },
+		}
+		res := impress.RunAttack(cfg, &impress.RowPressPattern{
+			Row: 1 << 20, TON: tm.TREFI, Timings: tm,
+		})
+		return res.MaxDamage
+	}
+	broken := run(impress.NoRP)
+	fixed := run(impress.ImpressP)
+	if broken < trh {
+		t.Fatalf("Row-Press should break the unprotected tracker (damage %v)", broken)
+	}
+	if fixed >= trh {
+		t.Fatalf("ImPress-P should contain Row-Press (damage %v)", fixed)
+	}
+	if broken/fixed < 10 {
+		t.Fatalf("expected an order-of-magnitude contrast: %v vs %v", broken, fixed)
+	}
+}
+
+func TestPublicDesignThresholds(t *testing.T) {
+	const trh = 4000
+	if got := impress.NewDesign(impress.ImpressP).TrackerTRH(trh); got != trh {
+		t.Fatalf("ImPress-P must keep TRH, got %v", got)
+	}
+	if got := impress.NewDesign(impress.ImpressN).TrackerTRH(trh); got != trh/2 {
+		t.Fatalf("ImPress-N at alpha=1 must halve TRH, got %v", got)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if n := len(impress.Workloads()); n != 20 {
+		t.Fatalf("workloads = %d, want 20", n)
+	}
+	if _, err := impress.WorkloadByName("triad"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSimAPI(t *testing.T) {
+	w, err := impress.WorkloadByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := impress.DefaultSimConfig(w, impress.NewDesign(impress.ImpressP), impress.TrackerGraphene)
+	cfg.WarmupInstructions = 5_000
+	cfg.RunInstructions = 20_000
+	res := impress.RunSim(cfg)
+	if len(res.IPC) != 8 || res.WeightedIPCSum <= 0 {
+		t.Fatalf("bad sim result: %+v", res)
+	}
+}
+
+func TestPublicTrackers(t *testing.T) {
+	rng := impress.NewRand(1)
+	for _, tr := range []impress.Tracker{
+		impress.NewGraphene(4000),
+		impress.NewPARA(4000, rng),
+		impress.NewMithril(4000, 80),
+		impress.NewMINT(80, impress.NewRand(2)),
+	} {
+		tr.OnActivation(1, impress.One)
+		tr.OnRFM()
+		tr.ResetWindow()
+	}
+	if impress.MINTToleratedTRH(80) != 1600 {
+		t.Fatal("MINT tolerated threshold wrong")
+	}
+}
+
+func TestPublicExperiments(t *testing.T) {
+	tabs := impress.AnalyticalExperiments()
+	if len(tabs) < 10 {
+		t.Fatalf("analytical experiments = %d", len(tabs))
+	}
+	// Scales exist and differ.
+	q, f := impress.QuickScale(), impress.FullScale()
+	if q.Run >= f.Run {
+		t.Fatal("quick scale should be shorter than full")
+	}
+	if math.IsNaN(float64(q.Run)) {
+		t.Fatal("unreachable; silence unused math import complaints")
+	}
+}
+
+func TestPublicSearchWorstCase(t *testing.T) {
+	cfg := impress.AttackConfig{
+		Design:    impress.NewDesign(impress.ImpressP),
+		DesignTRH: 4000,
+		AlphaTrue: 1,
+		Tracker:   func(trh float64) impress.Tracker { return impress.NewGraphene(trh) },
+	}
+	sr := impress.SearchWorstCase(cfg)
+	if sr.BestResult.MaxDamage >= 4000 {
+		t.Fatalf("search broke ImPress-P: %s at %v", sr.BestPattern, sr.BestResult.MaxDamage)
+	}
+	if len(sr.All) < 10 {
+		t.Fatalf("strategy grid too small: %d", len(sr.All))
+	}
+}
+
+func TestPublicPRAC(t *testing.T) {
+	p := impress.NewPRAC(4000)
+	if !p.InDRAM() || p.Name() != "prac" {
+		t.Fatal("PRAC facade metadata wrong")
+	}
+	p.OnActivation(1, impress.One)
+	p.OnRFM()
+}
+
+func TestPublicScales(t *testing.T) {
+	q, s, f := impress.QuickScale(), impress.StandardScale(), impress.FullScale()
+	if !(q.Run < s.Run && s.Run < f.Run) {
+		t.Fatalf("scale ordering wrong: %d %d %d", q.Run, s.Run, f.Run)
+	}
+	if len(s.Workloads) != 0 {
+		t.Fatal("standard scale must cover all workloads")
+	}
+}

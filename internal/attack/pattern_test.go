@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"testing"
+
+	"impress/internal/dram"
+)
+
+func TestRowhammerPattern(t *testing.T) {
+	tm := dram.DDR5()
+	p := &Rowhammer{Row: 7, Timings: tm}
+	for i := 0; i < 10; i++ {
+		acc := p.Next(dram.Tick(i) * 1000)
+		if acc.Row != 7 || acc.TON != tm.TRAS || acc.ActAt != dram.Tick(i)*1000 {
+			t.Fatalf("access %d wrong: %+v", i, acc)
+		}
+	}
+	if rows := p.AggressorRows(); len(rows) != 1 || rows[0] != 7 {
+		t.Fatalf("aggressors %v", rows)
+	}
+}
+
+func TestRowPressClampsToTRAS(t *testing.T) {
+	tm := dram.DDR5()
+	p := &RowPress{Row: 1, TON: tm.TRAS / 2, Timings: tm}
+	if acc := p.Next(0); acc.TON != tm.TRAS {
+		t.Fatalf("tON %d below tRAS", acc.TON)
+	}
+}
+
+func TestDecoyAlignment(t *testing.T) {
+	tm := dram.DDR5()
+	p := &Decoy{Row: 5, DecoyRow: 1 << 20, Timings: tm}
+	// First access: the aggressor, aligned within tPRE of a boundary.
+	acc := p.Next(0)
+	if acc.Row != 5 {
+		t.Fatalf("first access should target the aggressor, got row %d", acc.Row)
+	}
+	phase := acc.ActAt % tm.TRC
+	if phase <= tm.TRC-tm.TPRE {
+		t.Fatalf("ACT at phase %d not within tPRE of the boundary", phase)
+	}
+	if acc.TON != tm.TRC+tm.TRAS {
+		t.Fatalf("decoy aggressor tON = %d, want tRC+tRAS", acc.TON)
+	}
+	// Second access: a decoy row.
+	dec := p.Next(acc.ActAt + acc.TON + tm.TPRE)
+	if dec.Row == 5 {
+		t.Fatal("second access should hit a decoy row")
+	}
+	if dec.TON != tm.TRAS {
+		t.Fatalf("decoy tON = %d, want tRAS", dec.TON)
+	}
+}
+
+func TestDecoyRotatesDecoys(t *testing.T) {
+	tm := dram.DDR5()
+	p := &Decoy{Row: 5, DecoyRow: 1 << 20, Spread: 4, Timings: tm}
+	seen := map[int64]bool{}
+	now := dram.Tick(0)
+	for i := 0; i < 16; i++ {
+		acc := p.Next(now)
+		now = acc.ActAt + acc.TON + tm.TPRE
+		if acc.Row != 5 {
+			seen[acc.Row] = true
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("decoys did not rotate over spread 4: %v", seen)
+	}
+}
+
+func TestDecoyRespectsEarliest(t *testing.T) {
+	tm := dram.DDR5()
+	p := &Decoy{Row: 5, DecoyRow: 1 << 20, Timings: tm}
+	earliest := dram.Tick(123456)
+	acc := p.Next(earliest)
+	if acc.ActAt < earliest {
+		t.Fatalf("ACT at %d before earliest %d", acc.ActAt, earliest)
+	}
+}
+
+func TestCombinedK(t *testing.T) {
+	tm := dram.DDR5()
+	p0 := &CombinedK{Row: 2, K: 0, Timings: tm}
+	if acc := p0.Next(0); acc.TON != tm.TRAS {
+		t.Fatalf("K=0 must degenerate to Rowhammer, tON=%d", acc.TON)
+	}
+	p72 := &CombinedK{Row: 2, K: 72, Timings: tm}
+	if acc := p72.Next(0); acc.TON != tm.TRAS+72*tm.TRC {
+		t.Fatalf("K=72 tON=%d", acc.TON)
+	}
+}
+
+func TestManySidedRoundRobin(t *testing.T) {
+	tm := dram.DDR5()
+	rows := []int64{10, 20, 30}
+	p := &ManySided{Rows: rows, Timings: tm}
+	for i := 0; i < 9; i++ {
+		acc := p.Next(0)
+		if acc.Row != rows[i%3] {
+			t.Fatalf("access %d row %d, want %d", i, acc.Row, rows[i%3])
+		}
+	}
+	if len(p.AggressorRows()) != 3 {
+		t.Fatal("aggressor list wrong")
+	}
+}
+
+func TestInterleavedRHRP(t *testing.T) {
+	tm := dram.DDR5()
+	p := &InterleavedRHRP{Row: 1, BurstLen: 3, HoldTON: 10 * tm.TRC, Timings: tm}
+	var tons []dram.Tick
+	for i := 0; i < 8; i++ {
+		tons = append(tons, p.Next(0).TON)
+	}
+	// Pattern: 3x tRAS, then one long hold, repeating.
+	for i, want := range []dram.Tick{tm.TRAS, tm.TRAS, tm.TRAS, 10 * tm.TRC, tm.TRAS, tm.TRAS, tm.TRAS, 10 * tm.TRC} {
+		if tons[i] != want {
+			t.Fatalf("access %d tON %d, want %d (%v)", i, tons[i], want, tons)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package cache implements the shared last-level cache of the paper's
+// baseline system (Table II): 16 MB, 16-way, 64 B lines, SRRIP
+// replacement, with MSHR-based miss handling and writeback of dirty
+// victims.
+package cache
+
+import "fmt"
+
+// Config sizes an LLC.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	LineSize  int
+}
+
+// DefaultConfig returns the Table II LLC: 16 MB, 16-way, 64 B lines.
+func DefaultConfig() Config {
+	return Config{SizeBytes: 16 << 20, Ways: 16, LineSize: 64}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineSize <= 0:
+		return fmt.Errorf("cache: non-positive parameter: %+v", c)
+	case c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	case c.SizeBytes%(c.Ways*c.LineSize) != 0:
+		return fmt.Errorf("cache: size %d not divisible into %d ways of %dB lines",
+			c.SizeBytes, c.Ways, c.LineSize)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineSize)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// SRRIP constants: 2-bit re-reference prediction values.
+const (
+	rrpvBits    = 2
+	rrpvMax     = 1<<rrpvBits - 1 // 3: distant re-reference (eviction candidate)
+	rrpvInsert  = rrpvMax - 1     // 2: long re-reference on insertion
+	rrpvPromote = 0               // near-immediate on hit
+)
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	rrpv  uint8
+}
+
+// Victim describes a line evicted by a fill.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+// Cache is a set-associative SRRIP cache. It is purely a state container:
+// timing lives in the simulator.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setMask   uint64
+	setBits   uint
+	lineShift uint
+
+	hits, misses, evictions, writebacks uint64
+}
+
+// New builds an LLC; panics on invalid configuration (static input).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	numSets := cfg.SizeBytes / (cfg.Ways * cfg.LineSize)
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, numSets),
+		setMask: uint64(numSets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
+		c.lineShift++
+	}
+	for m := c.setMask; m > 0; m >>= 1 {
+		c.setBits++
+	}
+	return c
+}
+
+// NumSets returns the set count.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	lineAddr := addr >> c.lineShift
+	return lineAddr & c.setMask, lineAddr >> c.setBits
+}
+
+// Access looks up addr; on hit the line is promoted (and marked dirty for
+// writes). It returns true on hit. On miss, no state changes: the caller
+// is expected to Fill once the memory system returns data.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.rrpv = rrpvPromote
+			if write {
+				l.dirty = true
+			}
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Contains reports whether addr is present without touching replacement
+// state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts addr (after a miss) using SRRIP replacement and returns the
+// evicted victim, if any. write marks the new line dirty immediately.
+func (c *Cache) Fill(addr uint64, write bool) (Victim, bool) {
+	set, tag := c.index(addr)
+	lines := c.sets[set]
+	// Already present (a racing fill merged): just update.
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			if write {
+				lines[i].dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	// Find an invalid way first.
+	for i := range lines {
+		if !lines[i].valid {
+			lines[i] = line{tag: tag, valid: true, dirty: write, rrpv: rrpvInsert}
+			return Victim{}, false
+		}
+	}
+	// SRRIP: evict the first line with RRPV == max, aging until found.
+	for {
+		for i := range lines {
+			if lines[i].rrpv == rrpvMax {
+				v := Victim{Addr: c.lineAddr(set, lines[i].tag), Dirty: lines[i].dirty}
+				lines[i] = line{tag: tag, valid: true, dirty: write, rrpv: rrpvInsert}
+				c.evictions++
+				if v.Dirty {
+					c.writebacks++
+				}
+				return v, true
+			}
+		}
+		for i := range lines {
+			lines[i].rrpv++
+		}
+	}
+}
+
+func (c *Cache) lineAddr(set, tag uint64) uint64 {
+	return ((tag << c.setBits) | set) << c.lineShift
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Evictions returns the eviction count.
+func (c *Cache) Evictions() uint64 { return c.evictions }
+
+// Writebacks returns the dirty-eviction count.
+func (c *Cache) Writebacks() uint64 { return c.writebacks }
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

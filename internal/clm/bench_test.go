@@ -1,0 +1,57 @@
+package clm
+
+import (
+	"testing"
+
+	"impress/internal/dram"
+)
+
+// The EACT conversion runs once per precharge in the simulator and models
+// a shift in hardware: it must be allocation-free and a handful of ns.
+
+func BenchmarkEACTFromTON(b *testing.B) {
+	c := NewCalculator(dram.DDR5())
+	tm := dram.DDR5()
+	b.ReportAllocs()
+	var sink EACT
+	for i := 0; i < b.N; i++ {
+		sink += c.FromTON(tm.TRAS + dram.Tick(i%4096)*dram.TicksPerDRAMCycle)
+	}
+	_ = sink
+}
+
+func BenchmarkEACTTruncated(b *testing.B) {
+	c := NewCalculatorWithPrecision(dram.DDR5(), 4)
+	tm := dram.DDR5()
+	b.ReportAllocs()
+	var sink EACT
+	for i := 0; i < b.N; i++ {
+		sink += c.FromTON(tm.TRAS + dram.Tick(i%4096)*dram.TicksPerDRAMCycle)
+	}
+	_ = sink
+}
+
+func BenchmarkAccessTCL(b *testing.B) {
+	m := New(AlphaLongDuration)
+	tm := dram.DDR5()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.AccessTCL(tm.TRAS + dram.Tick(i%4096))
+	}
+	_ = sink
+}
+
+func BenchmarkFitConservativeAlpha(b *testing.B) {
+	pts := ShortDurationData()
+	xs := make([]float64, len(pts))
+	tcls := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.AttackTimeTRC - 1)
+		tcls[i] = p.TCL
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FitConservativeAlpha(xs, tcls)
+	}
+}

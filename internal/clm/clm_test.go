@@ -1,0 +1,433 @@
+package clm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"impress/internal/dram"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAccessTCLRowhammerDegenerate(t *testing.T) {
+	// An access with tON == tRAS is pure Rowhammer: TCL = 1 for any alpha.
+	for _, alpha := range []float64{0.35, 0.48, 1.0} {
+		m := New(alpha)
+		if got := m.AccessTCL(m.Timings.TRAS); got != 1 {
+			t.Fatalf("alpha=%v: TCL(tRAS) = %v, want 1", alpha, got)
+		}
+	}
+}
+
+func TestAccessTCLEquation3(t *testing.T) {
+	m := New(0.35)
+	// tON = tRAS + tRC  =>  TCL = 1 + alpha.
+	if got := m.AccessTCL(m.Timings.TRAS + m.Timings.TRC); !almostEqual(got, 1.35, 1e-12) {
+		t.Fatalf("TCL(tRAS+tRC) = %v, want 1.35", got)
+	}
+	// tON = tRAS + 2 tRC => 1 + 2 alpha.
+	if got := m.AccessTCL(m.Timings.TRAS + 2*m.Timings.TRC); !almostEqual(got, 1.70, 1e-12) {
+		t.Fatalf("TCL(tRAS+2tRC) = %v, want 1.70", got)
+	}
+}
+
+func TestAccessTCLClampsBelowTRAS(t *testing.T) {
+	m := New(1)
+	if got := m.AccessTCL(0); got != 1 {
+		t.Fatalf("TCL(0) = %v, want clamp to 1", got)
+	}
+}
+
+func TestRowhammerTCLLinear(t *testing.T) {
+	if RowhammerTCL(4800) != 4800 {
+		t.Fatal("Rowhammer TCL must equal the activation count")
+	}
+}
+
+// Property: AccessTCL is monotonically non-decreasing in tON and exactly
+// linear beyond tRAS.
+func TestAccessTCLMonotonic(t *testing.T) {
+	m := New(0.48)
+	f := func(a, b uint32) bool {
+		ta := dram.Tick(a % 2000000)
+		tb := dram.Tick(b % 2000000)
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		return m.AccessTCL(ta) <= m.AccessTCL(tb)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (paper observation 1): for alpha < 1, pure Rowhammer has the
+// highest damage rate; Row-Press damage per unit time is strictly lower
+// for any tON > tRAS.
+func TestRowhammerIsFastestAttack(t *testing.T) {
+	m := New(0.48)
+	rhRate := m.DamageRate(m.Timings.TRAS)
+	if !almostEqual(rhRate, 1, 1e-12) {
+		t.Fatalf("RH damage rate = %v, want 1", rhRate)
+	}
+	f := func(extra uint32) bool {
+		tON := m.Timings.TRAS + dram.Tick(extra%10000000) + 1
+		return m.DamageRate(tON) < rhRate+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// With alpha == 1 the damage rate is exactly 1 for every tON (RP is
+// equivalent to RH per unit time): this is why ImPress-P with alpha=1 has
+// no device dependency.
+func TestAlphaOneRateInvariant(t *testing.T) {
+	m := New(1)
+	for _, extraTRC := range []int64{0, 1, 5, 72, 1000} {
+		tON := m.Timings.TRAS + dram.Tick(extraTRC)*m.Timings.TRC
+		// Rate uses total time tON+tPRE; with tRAS+tPRE = tRC the round
+		// time is (1+extra) tRC and TCL is 1+extra exactly.
+		if got := m.DamageRate(tON); !almostEqual(got, 1, 1e-12) {
+			t.Fatalf("alpha=1 rate at extra=%d tRC: %v, want 1", extraTRC, got)
+		}
+	}
+}
+
+func TestPatternTCLAdditive(t *testing.T) {
+	m := New(0.35)
+	tm := m.Timings
+	pattern := []Access{
+		{TON: tm.TRAS},            // RH: 1.0
+		{TON: tm.TRAS + tm.TRC},   // short RP: 1.35
+		{TON: tm.TRAS + 2*tm.TRC}, // 1.70
+		{TON: tm.TRAS},            // 1.0
+	}
+	if got := m.PatternTCL(pattern); !almostEqual(got, 5.05, 1e-9) {
+		t.Fatalf("PatternTCL = %v, want 5.05", got)
+	}
+	wantTime := 4*tm.TRAS + 3*tm.TRC + 4*tm.TPRE
+	if got := m.PatternTime(pattern); got != wantTime {
+		t.Fatalf("PatternTime = %v, want %v", got, wantTime)
+	}
+}
+
+func TestRoundsToFlip(t *testing.T) {
+	m := New(1)
+	tm := m.Timings
+	// Pure RH: TRH rounds.
+	if got := m.RoundsToFlip(tm.TRAS, 4000); got != 4000 {
+		t.Fatalf("RH rounds = %d, want 4000", got)
+	}
+	// tON = tRAS + tRC at alpha 1: 2 units per round -> half the rounds.
+	if got := m.RoundsToFlip(tm.TRAS+tm.TRC, 4000); got != 2000 {
+		t.Fatalf("RP rounds = %d, want 2000", got)
+	}
+}
+
+func TestImpressNEffectiveThresholdEquation5(t *testing.T) {
+	// Paper: alpha=0.35 -> T* = TRH/1.35 = 0.74 TRH; alpha=1 -> TRH/2.
+	m35 := New(0.35)
+	if got := m35.ImpressNEffectiveThreshold(4000); !almostEqual(got, 4000/1.35, 1e-9) {
+		t.Fatalf("T*(0.35) = %v", got)
+	}
+	m1 := New(1)
+	if got := m1.ImpressNEffectiveThreshold(4000); !almostEqual(got, 2000, 1e-9) {
+		t.Fatalf("T*(1) = %v, want 2000", got)
+	}
+}
+
+func TestFracBitsEffectiveThresholdFig12(t *testing.T) {
+	cases := []struct {
+		bits int
+		want float64
+		tol  float64
+	}{
+		{7, 1.0, 0},       // exact
+		{6, 0.985, 0.001}, // paper: 0.985
+		{5, 0.97, 0.001},  // paper: 0.97
+		{4, 0.94, 0.002},  // paper: 0.94
+		{0, 0.5, 0},       // degenerates to ImPress-N at alpha=1
+	}
+	for _, c := range cases {
+		if got := FracBitsEffectiveThreshold(c.bits); !almostEqual(got, c.want, c.tol+1e-12) {
+			t.Errorf("T*(b=%d) = %v, want %v", c.bits, got, c.want)
+		}
+	}
+	// Monotone in bits.
+	prev := 0.0
+	for b := 0; b <= 7; b++ {
+		v := FracBitsEffectiveThreshold(b)
+		if v < prev {
+			t.Fatalf("T* not monotone at b=%d", b)
+		}
+		prev = v
+	}
+}
+
+func TestEACTBasics(t *testing.T) {
+	tm := dram.DDR5()
+	c := NewCalculator(tm)
+	// tON = tRAS: EACT = (tRAS+tPRE)/tRC = 1 exactly (Table I: 36+12=48).
+	if got := c.FromTON(tm.TRAS); got != One {
+		t.Fatalf("EACT(tRAS) = %v, want One", got)
+	}
+	// tON = tRAS + tRC: EACT = 2 (Fig. 11's example).
+	if got := c.FromTON(tm.TRAS + tm.TRC); got != 2*One {
+		t.Fatalf("EACT(tRAS+tRC) = %v, want 2", got)
+	}
+	// tON = tRAS + tRC/2: EACT = 1.5.
+	if got := c.FromTON(tm.TRAS + tm.TRC/2); got != One+One/2 {
+		t.Fatalf("EACT(tRAS+tRC/2) = %v, want 1.5", got)
+	}
+}
+
+// Property: EACT is always at least One and monotone in tON.
+func TestEACTInvariants(t *testing.T) {
+	c := NewCalculator(dram.DDR5())
+	f := func(a, b uint32) bool {
+		ta, tb := dram.Tick(a%50000000), dram.Tick(b%50000000)
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		ea, eb := c.FromTON(ta), c.FromTON(tb)
+		return ea >= One && ea <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: truncating to b fractional bits never increases EACT, never
+// undercounts by 2^-b or more, and never goes below One.
+func TestEACTTruncation(t *testing.T) {
+	tm := dram.DDR5()
+	full := NewCalculator(tm)
+	for b := 0; b <= FracBits; b++ {
+		cb := NewCalculatorWithPrecision(tm, b)
+		step := One >> uint(b) // 2^-b in fixed point
+		f := func(x uint32) bool {
+			tON := dram.Tick(x % 10000000)
+			ef, et := full.FromTON(tON), cb.FromTON(tON)
+			if et < One || et > ef {
+				return false
+			}
+			return ef-et < EACT(step)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("b=%d: %v", b, err)
+		}
+	}
+}
+
+func TestEACTFloat(t *testing.T) {
+	if got := (3 * One / 2).Float(); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("Float = %v", got)
+	}
+	if got := EACT(3).FloatAt(1); !almostEqual(got, 1.5, 1e-12) {
+		t.Fatalf("FloatAt = %v", got)
+	}
+}
+
+func TestEACTEquals10BitTimerArithmetic(t *testing.T) {
+	// The paper's hardware divides DRAM-cycle counts by 128 via a 7-bit
+	// shift; verify our fixed point matches that exactly for cycle-aligned
+	// inputs.
+	tm := dram.DDR5()
+	c := NewCalculator(tm)
+	for cycles := int64(128); cycles <= 2048; cycles += 37 {
+		tON := dram.Tick(cycles) * dram.TicksPerDRAMCycle
+		if tON < tm.TRAS {
+			continue
+		}
+		totalCycles := (tON + tm.TPRE).DRAMCycles()
+		want := EACT(totalCycles) // shift-by-7 of (cycles << 7)
+		if got := c.FromTON(tON); got != want {
+			t.Fatalf("cycles=%d: EACT = %d, want %d", cycles, got, want)
+		}
+	}
+	if c.MaxTimerTON() != dram.Tick(1023)*tm.TRC {
+		t.Fatalf("10-bit timer bound wrong: %d", c.MaxTimerTON())
+	}
+	if c.MaxTimerTON() <= tm.TONMax {
+		t.Fatal("10-bit timer must cover tONMax")
+	}
+}
+
+func TestExpressThresholdAnchor(t *testing.T) {
+	tm := dram.DDR5()
+	// Paper Section II-E: tMRO = 186ns => T* = 0.62.
+	got := ExpressThreshold(tm, dram.Ns(186))
+	if !almostEqual(got, 0.62, 0.005) {
+		t.Fatalf("T*(186ns) = %v, want ~0.62", got)
+	}
+	// tMRO = tRAS: no Row-Press possible, T* = 1.
+	if got := ExpressThreshold(tm, tm.TRAS); got != 1 {
+		t.Fatalf("T*(tRAS) = %v, want 1", got)
+	}
+}
+
+func TestExpressThresholdMonotone(t *testing.T) {
+	tm := dram.DDR5()
+	prev := 2.0
+	for ns := int64(36); ns <= 636; ns += 6 {
+		v := ExpressThreshold(tm, dram.Ns(ns))
+		if v > prev+1e-12 {
+			t.Fatalf("T* not monotone non-increasing at %dns", ns)
+		}
+		if v <= 0 || v > 1 {
+			t.Fatalf("T*(%dns) = %v out of (0,1]", ns, v)
+		}
+		prev = v
+	}
+}
+
+func TestExpressThresholdCLMConservative(t *testing.T) {
+	// The CLM-provisioned threshold must never exceed the empirical one
+	// (conservative = assume more damage = lower tolerated threshold) at
+	// every characterized operating point, i.e. whole-tRC extra open
+	// times (the paper's CLM is anchored so no *observed data point* is
+	// above the line; the continuous curve-fit may poke above it between
+	// 0 and 1 tRC, where there are no observations).
+	tm := dram.DDR5()
+	m := Model{Alpha: 0.35, Timings: tm}
+	for extra := int64(1); extra <= 12; extra++ {
+		tMRO := tm.TRAS + dram.Tick(extra)*tm.TRC
+		if clmT := ExpressThresholdCLM(m, tMRO); clmT > ExpressThreshold(tm, tMRO)+1e-12 {
+			t.Fatalf("CLM threshold exceeds empirical at tMRO=tRAS+%d tRC", extra)
+		}
+	}
+}
+
+func TestShortDurationDataFig8(t *testing.T) {
+	pts := ShortDurationData()
+	if len(pts) != 8 {
+		t.Fatalf("want 8 points, got %d", len(pts))
+	}
+	if pts[0].TCL != 1 {
+		t.Fatalf("1-tRC attack must be pure RH (TCL=1), got %v", pts[0].TCL)
+	}
+	// CLM at alpha=0.35 must cover every point (conservative property).
+	m := New(AlphaShortDuration)
+	for _, p := range pts {
+		x := float64(p.AttackTimeTRC - 1)
+		clmLine := 1 + m.Alpha*x
+		if p.TCL > clmLine+1e-9 {
+			t.Fatalf("data point at %d tRC (%v) above CLM line (%v)", p.AttackTimeTRC, p.TCL, clmLine)
+		}
+	}
+	// Data must be below Rowhammer's line (RP is slower than RH).
+	for _, p := range pts[1:] {
+		if p.TCL >= float64(p.AttackTimeTRC) {
+			t.Fatalf("RP data at %d tRC reaches RH damage", p.AttackTimeTRC)
+		}
+	}
+}
+
+func TestDevicesPopulationFig7(t *testing.T) {
+	devs := Devices()
+	byVendor := map[Vendor]int{}
+	for _, d := range devs {
+		byVendor[d.Vendor]++
+		if d.Alpha <= 0 || d.Alpha > AlphaLongDuration {
+			t.Fatalf("device %v/%d alpha %v outside (0, 0.48]", d.Vendor, d.Index, d.Alpha)
+		}
+	}
+	if byVendor[VendorSamsung] != 8 || byVendor[VendorHynix] != 6 || byVendor[VendorMicron] != 7 {
+		t.Fatalf("population mismatch: %v", byVendor)
+	}
+	// alpha = 0.48 covers all devices at the long-duration points.
+	m := New(AlphaLongDuration)
+	if margin := VerifyConservative(m, devs, LongDurationTimesTRC()); margin < 0 {
+		t.Fatalf("CLM alpha=0.48 under-estimates a device by %v", -margin)
+	}
+	// ...but alpha = 0.35 does NOT cover the worst long-duration device
+	// (this is exactly why the paper raises alpha for long attacks).
+	m35 := New(AlphaShortDuration)
+	if margin := VerifyConservative(m35, devs, LongDurationTimesTRC()); margin >= 0 {
+		t.Fatal("alpha=0.35 should not cover the long-duration population")
+	}
+}
+
+func TestDevicesAggregateRatios(t *testing.T) {
+	// Section II-D: RP reduces required activations ~18x on average at
+	// 1 tREFI and ~156x at 9 tREFI.
+	devs := Devices()
+	times := LongDurationTimesTRC()
+	for i, want := range []float64{18, 156} {
+		x := float64(times[i] - 1)
+		sum := 0.0
+		for _, d := range devs {
+			sum += d.TCL(x)
+		}
+		mean := sum / float64(len(devs))
+		if mean < want*0.75 || mean > want*1.35 {
+			t.Fatalf("mean TCL at %d tRC = %v, want ~%v", times[i], mean, want)
+		}
+	}
+}
+
+func TestFitConservativeAlpha(t *testing.T) {
+	xs := []float64{1, 2, 4}
+	tcls := []float64{1.35, 1.5, 2.0}
+	alpha := FitConservativeAlpha(xs, tcls)
+	if !almostEqual(alpha, 0.35, 1e-12) {
+		t.Fatalf("alpha = %v, want 0.35 (binding at x=1)", alpha)
+	}
+	// Every point must be at or below the fitted line.
+	for i, x := range xs {
+		if tcls[i] > 1+alpha*x+1e-12 {
+			t.Fatalf("point %d above conservative line", i)
+		}
+	}
+}
+
+func TestFitConservativeAlphaRecoversPaperValues(t *testing.T) {
+	// Fitting the embedded Fig. 8 dataset must recover alpha = 0.35.
+	pts := ShortDurationData()
+	var xs, tcls []float64
+	for _, p := range pts {
+		xs = append(xs, float64(p.AttackTimeTRC-1))
+		tcls = append(tcls, p.TCL)
+	}
+	if alpha := FitConservativeAlpha(xs, tcls); !almostEqual(alpha, 0.35, 1e-9) {
+		t.Fatalf("short-duration fit alpha = %v, want 0.35", alpha)
+	}
+	// Fitting the long-duration device population must recover 0.48.
+	var lx, ltcl []float64
+	for _, d := range Devices() {
+		for _, tt := range LongDurationTimesTRC() {
+			x := float64(tt - 1)
+			lx = append(lx, x)
+			ltcl = append(ltcl, d.TCL(x))
+		}
+	}
+	alpha := FitConservativeAlpha(lx, ltcl)
+	if alpha > AlphaLongDuration+1e-9 || alpha < 0.40 {
+		t.Fatalf("long-duration fit alpha = %v, want <= 0.48 and close to it", alpha)
+	}
+}
+
+func TestFitPowerLawRecoversCurveFit(t *testing.T) {
+	// Generate exact power-law data and verify recovery.
+	var xs, tcls []float64
+	for x := 1.0; x <= 16; x *= 2 {
+		xs = append(xs, x)
+		tcls = append(tcls, 1+CurveFit(x))
+	}
+	a, b := FitPowerLaw(xs, tcls)
+	if !almostEqual(a, curveFitA, 1e-6) || !almostEqual(b, curveFitB, 1e-6) {
+		t.Fatalf("power-law fit = (%v, %v), want (%v, %v)", a, b, curveFitA, curveFitB)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := New(0.48).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := New(-1)
+	if bad.Validate() == nil {
+		t.Fatal("negative alpha must be rejected")
+	}
+}

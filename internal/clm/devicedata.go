@@ -1,0 +1,155 @@
+package clm
+
+import "impress/internal/dram"
+
+// This file embeds the Row-Press characterization data the paper consumes.
+//
+// The original measurements come from Luo et al. (ISCA'23), Table 8 and
+// Appendix B, for real DDR4 devices; that raw dataset is not public in
+// machine-readable form. The reproduction therefore embeds a synthetic
+// reconstruction that preserves every aggregate statistic the ImPress paper
+// cites from it:
+//
+//   - T* = 0.62 at tMRO = 186 ns (Section II-E / Fig. 4 anchor);
+//   - short-duration charge loss fits a sub-linear curve with initial slope
+//     alpha = 0.35 (Fig. 8);
+//   - long-duration Row-Press reduces required activations by ~18x on
+//     average at 1 tREFI and ~156x at 9 tREFI (Section II-D / Fig. 7);
+//   - alpha = 0.48 covers every characterized device from all three
+//     vendors (Fig. 7).
+//
+// See DESIGN.md §1 for the substitution rationale.
+
+// CurveFit is the sub-linear power-law fit to the short-duration Row-Press
+// characterization (the dotted "Curve-Fit" line of Fig. 8). It maps the
+// extra open time x (in tRC units beyond the first) to extra charge loss:
+//
+//	f(x) = 0.35 * x^0.49
+//
+// The exponent is chosen so the fit passes through the paper's quoted
+// anchor (T* = 0.62 at tMRO = 186 ns, i.e. f(3.125) = 0.613) while keeping
+// the initial slope at the measured alpha = 0.35.
+func CurveFit(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return curveFitA * pow(x, curveFitB)
+}
+
+const (
+	curveFitA = 0.35
+	curveFitB = 0.49
+)
+
+// EmpiricalAccessTCL returns the measured (curve-fit) total charge loss of
+// one access with the given row-open time, in the same normalized units as
+// Model.AccessTCL. This is the "real device" behaviour that the CLM must
+// never under-estimate.
+func EmpiricalAccessTCL(t dram.Timings, tON dram.Tick) float64 {
+	if tON < t.TRAS {
+		tON = t.TRAS
+	}
+	x := float64(tON-t.TRAS) / float64(t.TRC)
+	return 1 + CurveFit(x)
+}
+
+// ExpressThreshold returns the relative effective threshold T*/TRH when the
+// memory controller limits row-open time to tMRO (the ExPress design,
+// Fig. 4): the worst access the attacker can construct leaks
+// EmpiricalAccessTCL(tMRO) per activation, so
+//
+//	T*/TRH = 1 / (1 + f((tMRO - tRAS)/tRC))
+func ExpressThreshold(t dram.Timings, tMRO dram.Tick) float64 {
+	return 1 / EmpiricalAccessTCL(t, tMRO)
+}
+
+// ExpressThresholdCLM is the conservative-model counterpart of
+// ExpressThreshold: the T* a designer must provision when trusting only the
+// CLM with the given alpha rather than per-device data.
+func ExpressThresholdCLM(m Model, tMRO dram.Tick) float64 {
+	return 1 / m.AccessTCL(tMRO)
+}
+
+// ShortDurationPoint is one red data point of Fig. 8: the charge loss of a
+// single access whose total time (tON + tPRE) spans the given number of
+// tRC.
+type ShortDurationPoint struct {
+	AttackTimeTRC int     // total attack time in tRC units (1..8)
+	TCL           float64 // measured total charge loss
+}
+
+// ShortDurationData returns the Fig. 8 characterization points for attack
+// times of 1..8 tRC. The first point (1 tRC) is pure Rowhammer by
+// construction.
+func ShortDurationData() []ShortDurationPoint {
+	pts := make([]ShortDurationPoint, 0, 8)
+	for t := 1; t <= 8; t++ {
+		pts = append(pts, ShortDurationPoint{
+			AttackTimeTRC: t,
+			TCL:           1 + CurveFit(float64(t-1)),
+		})
+	}
+	return pts
+}
+
+// Vendor identifies a DRAM manufacturer in the Fig. 7 dataset.
+type Vendor string
+
+// The three vendors characterized by Luo et al.
+const (
+	VendorSamsung Vendor = "Samsung"
+	VendorHynix   Vendor = "Hynix"
+	VendorMicron  Vendor = "Micron"
+)
+
+// Device is one characterized DRAM device: its Row-Press damage follows
+// TCL(x) = 1 + Alpha * x^Exponent for x tRC of extra open time. The mild
+// sub-linearity (exponent 0.97) reproduces the paper's aggregate ratios at
+// both 1 tREFI and 9 tREFI simultaneously.
+type Device struct {
+	Vendor Vendor
+	Index  int
+	Alpha  float64
+}
+
+// deviceExponent is the common sub-linearity of the long-duration device
+// population.
+const deviceExponent = 0.97
+
+// TCL returns the device's total charge loss for one access with x tRC of
+// extra open time beyond tRAS.
+func (d Device) TCL(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return 1 + d.Alpha*pow(x, deviceExponent)
+}
+
+// Devices returns the synthetic long-duration characterization population:
+// 8 Samsung, 6 Hynix and 7 Micron devices (Fig. 7). The worst device
+// (Hynix #0) touches the alpha = 0.48 envelope; the population mean
+// reproduces the ~18x (1 tREFI) and ~156x (9 tREFI) average activation
+// reductions the paper quotes.
+func Devices() []Device {
+	alphas := map[Vendor][]float64{
+		VendorSamsung: {0.44, 0.19, 0.12, 0.09, 0.07, 0.055, 0.045, 0.04},
+		VendorHynix:   {0.48, 0.14, 0.10, 0.07, 0.05, 0.04},
+		VendorMicron:  {0.37, 0.11, 0.08, 0.06, 0.05, 0.04, 0.035},
+	}
+	var devs []Device
+	for _, v := range []Vendor{VendorSamsung, VendorHynix, VendorMicron} {
+		for i, a := range alphas[v] {
+			devs = append(devs, Device{Vendor: v, Index: i, Alpha: a})
+		}
+	}
+	return devs
+}
+
+// LongDurationTimesTRC returns the two long-duration attack times of
+// Fig. 7 in tRC units: 1 tREFI and 9 tREFI of the characterized DDR4
+// devices (162 and 1462 tRC).
+func LongDurationTimesTRC() []int { return []int{162, 1462} }
+
+// pow is a small wrapper so this file reads without a bare math import at
+// each call site.
+func pow(x, y float64) float64 { return mathPow(x, y) }

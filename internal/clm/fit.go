@@ -1,0 +1,92 @@
+package clm
+
+import "math"
+
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
+
+// FitConservativeAlpha computes the Conservative Linear Model slope for a
+// set of (x, tcl) observations, where x is extra open time in tRC and tcl
+// is the observed total charge loss: the smallest alpha such that
+// 1 + alpha*x >= tcl for every observation (Section IV-C: "no observed
+// data-point is above the line").
+//
+// Points with x == 0 only constrain the intercept (which is fixed at 1 by
+// the model) and are ignored; a point with x == 0 and tcl > 1 is
+// unrepresentable by any slope and causes a panic, since it indicates
+// corrupt input data.
+func FitConservativeAlpha(xs, tcls []float64) float64 {
+	if len(xs) != len(tcls) {
+		panic("clm: FitConservativeAlpha length mismatch")
+	}
+	alpha := 0.0
+	for i, x := range xs {
+		tcl := tcls[i]
+		if x <= 0 {
+			if tcl > 1+1e-12 {
+				panic("clm: observation with zero open time but TCL > 1")
+			}
+			continue
+		}
+		need := (tcl - 1) / x
+		if need > alpha {
+			alpha = need
+		}
+	}
+	return alpha
+}
+
+// FitPowerLaw performs a least-squares fit of tcl-1 = a * x^b in log space
+// over observations with x > 0 and tcl > 1 (the dotted best-fit curve of
+// Fig. 8). It returns the coefficients (a, b). At least two usable points
+// are required.
+func FitPowerLaw(xs, tcls []float64) (a, b float64) {
+	if len(xs) != len(tcls) {
+		panic("clm: FitPowerLaw length mismatch")
+	}
+	var lx, ly []float64
+	for i, x := range xs {
+		if x > 0 && tcls[i] > 1 {
+			lx = append(lx, math.Log(x))
+			ly = append(ly, math.Log(tcls[i]-1))
+		}
+	}
+	if len(lx) < 2 {
+		panic("clm: FitPowerLaw needs at least two points with x>0, tcl>1")
+	}
+	n := float64(len(lx))
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		// All x identical: slope is undefined; return a flat fit through
+		// the mean, which is the least-wrong answer for degenerate input.
+		return math.Exp(sy / n), 0
+	}
+	b = (n*sxy - sx*sy) / denom
+	a = math.Exp((sy - b*sx) / n)
+	return a, b
+}
+
+// VerifyConservative checks that model m never under-estimates the charge
+// loss of any device in the given population at the given extra-open-time
+// points (in tRC). It returns the worst (most negative) margin
+// model-minus-device; a non-negative result means the model is safe.
+func VerifyConservative(m Model, devices []Device, xsTRC []int) float64 {
+	worst := math.Inf(1)
+	for _, d := range devices {
+		for _, x := range xsTRC {
+			fx := float64(x)
+			modelTCL := 1 + m.Alpha*fx
+			margin := modelTCL - d.TCL(fx)
+			if margin < worst {
+				worst = margin
+			}
+		}
+	}
+	return worst
+}

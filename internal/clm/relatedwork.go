@@ -1,0 +1,30 @@
+package clm
+
+import "math"
+
+// This file models the related-work weighting schemes Section VII compares
+// against, to reproduce the paper's quantitative criticism of DSAC.
+
+// DSACWeight returns DSAC's logarithmic time-weight for an access that
+// keeps its row open for x tRC of total time: approximately log2(x),
+// floored at 1 (the weight of a plain activation). Hong et al. weight
+// counter increments by a logarithmic function of open time; the paper's
+// example: at tON = 256 tRC the weight is ~8.
+func DSACWeight(xTRC float64) float64 {
+	if xTRC <= 2 {
+		return 1
+	}
+	return math.Log2(xTRC)
+}
+
+// DSACUnderestimation returns the factor by which DSAC's weight
+// under-counts the true Row-Press damage of an access spanning x tRC,
+// using the characterized leakage rate (alpha = 0.48): the paper reports
+// ~15x at x = 256 ("the weight should be about 0.48*256 = 122").
+func DSACUnderestimation(xTRC float64) float64 {
+	true48 := AlphaLongDuration * xTRC
+	if true48 < 1 {
+		true48 = 1
+	}
+	return true48 / DSACWeight(xTRC)
+}

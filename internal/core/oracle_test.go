@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"impress/internal/clm"
+	"impress/internal/dram"
+	"impress/internal/stats"
+)
+
+// Oracle test: replay a random legal access schedule through the
+// ImPress-N policy and compare its synthetic-ACT count against a
+// brute-force reference that walks every window boundary and applies the
+// paper's rule directly ("charge one unit if the row was open, fully
+// activated, for the entire window").
+func TestImpressNAgainstOracle(t *testing.T) {
+	tm := dram.DDR5()
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		p := NewBankPolicy(NewDesign(ImpressN))
+
+		type interval struct{ open, close dram.Tick }
+		var intervals []interval
+		now := dram.Tick(rng.Uint64n(uint64(tm.TRC)))
+		policyEvents := 0
+		const rounds = 40
+		for i := 0; i < rounds; i++ {
+			tON := tm.TRAS + dram.Tick(rng.Uint64n(uint64(6*tm.TRC)))
+			evs := p.OnActivate(now, 1)
+			policyEvents += len(evs) - 1 // exclude the demand ACT itself
+			closeAt := now + tON
+			policyEvents += len(p.OnPrecharge(closeAt, 1, tON))
+			intervals = append(intervals, interval{open: now + tm.TACT, close: closeAt})
+			gap := tm.TPRE + dram.Tick(rng.Uint64n(uint64(2*tm.TRC)))
+			now = closeAt + gap
+		}
+		policyEvents += len(p.Advance(now + 10*tm.TRC))
+
+		// Brute-force oracle: for every boundary b, a synthetic ACT fires
+		// iff one interval covers [b-tRC, b] entirely.
+		oracle := 0
+		for b := tm.TRC; b <= now+10*tm.TRC; b += tm.TRC {
+			for _, iv := range intervals {
+				if iv.open <= b-tm.TRC && iv.close >= b {
+					oracle++
+					break
+				}
+			}
+		}
+		return policyEvents == oracle
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Conservation property for ImPress-P: the total EACT emitted over any
+// access schedule equals the total occupied time divided by tRC (at full
+// precision), because EACT = (tON + tPRE)/tRC per access and tRC is a
+// power-of-two number of DRAM cycles. This is the unified model's alpha=1
+// damage-accounting identity.
+func TestImpressPEACTConservation(t *testing.T) {
+	tm := dram.DDR5()
+	f := func(seed uint64) bool {
+		rng := stats.NewRand(seed)
+		p := NewBankPolicy(NewDesign(ImpressP))
+		var totalEACT clm.EACT
+		var occupied dram.Tick
+		now := dram.Tick(0)
+		for i := 0; i < 50; i++ {
+			// Cycle-aligned tON keeps the fixed point exact.
+			cycles := 96 + rng.Uint64n(1024) // >= tRAS (96 cycles)
+			tON := dram.Tick(cycles) * dram.TicksPerDRAMCycle
+			p.OnActivate(now, 1)
+			for _, ev := range p.OnPrecharge(now+tON, 1, tON) {
+				totalEACT += ev.Weight
+			}
+			occupied += tON + tm.TPRE
+			now += tON + tm.TPRE
+		}
+		want := clm.EACT(occupied.DRAMCycles()) // tRC = 128 cycles = One<<... identity
+		return totalEACT == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

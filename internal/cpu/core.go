@@ -1,0 +1,270 @@
+// Package cpu implements the trace-driven out-of-order core model of the
+// performance simulator: a 6-wide, 352-entry-ROB core (Table II) that
+// fetches instructions from a synthetic trace, issues memory operations to
+// the cache hierarchy as soon as they are fetched (bounded by per-core
+// MSHRs), and retires in order. Memory-level parallelism emerges from the
+// ROB window: while the oldest load is outstanding, younger loads within
+// the window issue and overlap their latencies.
+//
+// This is the substrate equivalent of ChampSim for the paper's purposes:
+// the evaluation needs relative IPC sensitivity to memory latency and
+// row-buffer hit rate, which the ROB-occupancy model captures (DESIGN.md
+// §1).
+package cpu
+
+import (
+	"fmt"
+
+	"impress/internal/trace"
+)
+
+// Config sizes a core (Table II defaults via DefaultConfig).
+type Config struct {
+	Width   int // fetch/retire width per cycle
+	ROBSize int // reorder-buffer entries
+	MSHRs   int // outstanding misses per core
+}
+
+// DefaultConfig returns the paper's 6-wide, 352-entry ROB core with 16
+// MSHRs.
+func DefaultConfig() Config {
+	return Config{Width: 6, ROBSize: 352, MSHRs: 16}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.ROBSize <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: non-positive parameter: %+v", c)
+	}
+	return nil
+}
+
+// MemOp is an in-flight memory operation tracked by the core's ROB.
+type MemOp struct {
+	// Pos is the operation's position in the instruction stream.
+	Pos int64
+	// Addr is the physical address.
+	Addr uint64
+	// Write marks stores (which retire without waiting for data).
+	Write bool
+	// Done is set by the memory system when data returns.
+	Done bool
+
+	core *Core
+}
+
+// Complete marks the operation finished; the memory system calls it.
+func (op *MemOp) Complete() {
+	if op.Done {
+		return
+	}
+	op.Done = true
+	if !op.Write {
+		op.core.outstanding--
+	}
+}
+
+// MemorySystem accepts memory operations from cores.
+type MemorySystem interface {
+	// CanAccept reports whether a new operation for addr can be taken
+	// this cycle.
+	CanAccept(addr uint64, write bool) bool
+	// Access submits the operation; the memory system must eventually
+	// call op.Complete (immediately for hits is fine).
+	Access(op *MemOp)
+}
+
+// Core is one trace-driven core.
+type Core struct {
+	id  int
+	cfg Config
+	gen trace.Generator
+	mem MemorySystem
+
+	fetched int64 // instructions fetched
+	retired int64 // instructions retired
+
+	// nextMem is the next memory request peeked from the trace and its
+	// absolute instruction position.
+	nextMem    trace.Request
+	nextMemPos int64
+	havePeek   bool
+
+	// rob holds in-flight memory ops in program order; plain instructions
+	// are implicit between their positions.
+	rob []*MemOp
+
+	outstanding int // reads in flight (MSHR accounting)
+
+	cycles       int64
+	finishedAt   int64 // cycle when the instruction budget was reached (-1 if running)
+	instrBudget  int64
+	statsRetired int64 // retired count at the last ResetStats
+	statsCycle   int64
+}
+
+// New builds a core reading from gen and issuing into mem.
+func New(id int, cfg Config, gen trace.Generator, mem MemorySystem) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{id: id, cfg: cfg, gen: gen, mem: mem, finishedAt: -1}
+	c.peek()
+	return c
+}
+
+// ID returns the core's index.
+func (c *Core) ID() int { return c.id }
+
+// SetBudget sets the retired-instruction budget after which the core
+// reports finished (it keeps executing to preserve memory contention, as
+// rate-mode methodology requires).
+func (c *Core) SetBudget(instructions int64) {
+	c.instrBudget = c.retired + instructions
+	c.finishedAt = -1
+}
+
+// Finished reports whether the budget has been reached.
+func (c *Core) Finished() bool { return c.finishedAt >= 0 }
+
+// FinishCycle returns the cycle at which the budget was reached (-1 while
+// running).
+func (c *Core) FinishCycle() int64 { return c.finishedAt }
+
+// Retired returns total retired instructions.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Cycles returns total elapsed core cycles.
+func (c *Core) Cycles() int64 { return c.cycles }
+
+// ResetStats starts a new measurement interval (end of warmup).
+func (c *Core) ResetStats() {
+	c.statsRetired = c.retired
+	c.statsCycle = c.cycles
+}
+
+// IPC returns instructions per cycle over the current measurement
+// interval, up to the finish cycle if the budget was reached.
+func (c *Core) IPC() float64 {
+	endCycle := c.cycles
+	endRetired := c.retired
+	if c.finishedAt >= 0 {
+		endCycle = c.finishedAt
+		endRetired = c.instrBudget
+	}
+	cyc := endCycle - c.statsCycle
+	if cyc <= 0 {
+		return 0
+	}
+	return float64(endRetired-c.statsRetired) / float64(cyc)
+}
+
+func (c *Core) peek() {
+	req := c.gen.Next()
+	c.nextMemPos = c.fetched + int64(req.Gap)
+	// Position relative to the stream: Gap instructions precede the op.
+	// If we already fetched past (shouldn't happen), clamp.
+	if c.havePeek {
+		panic("cpu: double peek")
+	}
+	c.nextMem = req
+	c.havePeek = true
+}
+
+// Step advances the core by one cycle.
+func (c *Core) Step() {
+	c.fetch()
+	c.retire()
+	c.cycles++
+}
+
+func (c *Core) fetch() {
+	budget := c.cfg.Width
+	for budget > 0 {
+		if c.fetched-c.retired >= int64(c.cfg.ROBSize) {
+			return // ROB full
+		}
+		if !c.havePeek {
+			c.peek()
+		}
+		if c.fetched < c.nextMemPos {
+			// Plain instructions up to the next memory op.
+			n := c.nextMemPos - c.fetched
+			if n > int64(budget) {
+				n = int64(budget)
+			}
+			room := int64(c.cfg.ROBSize) - (c.fetched - c.retired)
+			if n > room {
+				n = room
+			}
+			c.fetched += n
+			budget -= int(n)
+			continue
+		}
+		// The next instruction is the memory op.
+		if !c.nextMem.Write && c.outstanding >= c.cfg.MSHRs {
+			return // MSHRs exhausted: fetch stalls at the load
+		}
+		if !c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write) {
+			return // memory system backpressure
+		}
+		op := &MemOp{
+			Pos:   c.fetched,
+			Addr:  c.nextMem.Addr,
+			Write: c.nextMem.Write,
+			core:  c,
+		}
+		if op.Write {
+			// Stores retire immediately (posted through the write
+			// buffer); issue to memory without ROB blocking.
+			op.Done = true
+		} else {
+			c.outstanding++
+		}
+		c.mem.Access(op)
+		c.rob = append(c.rob, op)
+		c.fetched++
+		budget--
+		c.havePeek = false
+	}
+}
+
+func (c *Core) retire() {
+	budget := c.cfg.Width
+	for budget > 0 {
+		// Retire plain instructions up to the oldest memory op.
+		limit := c.fetched
+		if len(c.rob) > 0 {
+			limit = c.rob[0].Pos
+		}
+		if c.retired < limit {
+			n := limit - c.retired
+			if n > int64(budget) {
+				n = int64(budget)
+			}
+			c.advanceRetired(n)
+			budget -= int(n)
+			continue
+		}
+		if len(c.rob) == 0 {
+			return // nothing fetched beyond retirement point
+		}
+		head := c.rob[0]
+		if head.Pos == c.retired && head.Done {
+			c.rob = c.rob[1:]
+			c.advanceRetired(1)
+			budget--
+			continue
+		}
+		return // head memory op still outstanding
+	}
+}
+
+func (c *Core) advanceRetired(n int64) {
+	c.retired += n
+	if c.finishedAt < 0 && c.instrBudget > 0 && c.retired >= c.instrBudget {
+		// The budget completes at the end of the current cycle (cycles is
+		// incremented after retire within Step).
+		c.finishedAt = c.cycles + 1
+	}
+}

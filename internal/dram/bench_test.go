@@ -1,0 +1,47 @@
+package dram
+
+import "testing"
+
+// DRAM state-machine microbenchmarks: these run once per command in the
+// simulator's hot loop.
+
+func BenchmarkBankActPreCycle(b *testing.B) {
+	tm := DDR5()
+	bank := NewBank(tm)
+	now := Tick(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bank.Activate(now, int64(i))
+		now += tm.TRAS
+		bank.Precharge(now)
+		now += tm.TPRE
+	}
+}
+
+func BenchmarkChannelCanActivate(b *testing.B) {
+	tm := DDR5()
+	ch := NewChannel(ChannelConfig{Banks: 64, Timings: tm})
+	b.ReportAllocs()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = ch.CanActivate(Tick(i), i%64) || sink
+	}
+	_ = sink
+}
+
+func BenchmarkChannelFullAccess(b *testing.B) {
+	tm := DDR5()
+	ch := NewChannel(ChannelConfig{Banks: 64, Timings: tm})
+	now := Tick(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bank := i % 64
+		for !ch.CanActivate(now, bank) {
+			now += TicksPerDRAMCycle
+		}
+		ch.Activate(now, bank, int64(i), false)
+		ch.Column(now+tm.TACT, bank, int64(i), false)
+		ch.Precharge(now+tm.TRAS, bank, false)
+		now += TicksPerDRAMCycle
+	}
+}

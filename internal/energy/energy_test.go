@@ -1,0 +1,69 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"impress/internal/dram"
+	"impress/internal/memctrl"
+)
+
+func TestBreakdownTotals(t *testing.T) {
+	m := DefaultModel()
+	s := memctrl.Stats{
+		DemandACTs: 1000, MitigativeACTs: 100,
+		Reads: 5000, Writes: 2000, Refreshes: 10, RFMs: 5,
+	}
+	b := m.Compute(s, dram.Ms(1), 2)
+	sum := b.DemandACT + b.MitigativeACT + b.Read + b.Write + b.Refresh + b.RFM + b.Background
+	if math.Abs(sum-b.Total()) > 1e-12 {
+		t.Fatalf("Total %v != component sum %v", b.Total(), sum)
+	}
+	if b.Background <= 0 {
+		t.Fatal("background energy missing")
+	}
+}
+
+func TestActivationShareCalibration(t *testing.T) {
+	// Section VI-E: activations are ~11% of baseline DRAM energy. Check
+	// with a representative traffic mix (1 ACT per ~5 column accesses,
+	// tREFI-paced refresh, realistic bandwidth utilization).
+	m := DefaultModel()
+	elapsed := dram.Ms(10)
+	refreshes := uint64(elapsed / dram.DDR5().TREFI * 2) // 2 channels
+	s := memctrl.Stats{
+		DemandACTs: 2_000_000,
+		Reads:      7_000_000,
+		Writes:     3_000_000,
+		Refreshes:  refreshes,
+	}
+	b := m.Compute(s, elapsed, 2)
+	share := b.ActivationShare()
+	if share < 0.07 || share > 0.16 {
+		t.Fatalf("activation share %v, want ~0.11 (paper calibration)", share)
+	}
+}
+
+func TestRelativeEnergyScales(t *testing.T) {
+	m := DefaultModel()
+	base := m.Compute(memctrl.Stats{DemandACTs: 100, Reads: 100}, dram.Ms(1), 2)
+	// 56% more demand ACTs (the ExPress effect) must raise energy.
+	more := m.Compute(memctrl.Stats{DemandACTs: 156, Reads: 100}, dram.Ms(1), 2)
+	if RelativeEnergy(more, base) <= 1 {
+		t.Fatal("more activations must cost more energy")
+	}
+	if RelativeEnergy(base, base) != 1 {
+		t.Fatal("self-relative energy must be 1")
+	}
+}
+
+func TestZeroTrafficBackgroundOnly(t *testing.T) {
+	m := DefaultModel()
+	b := m.Compute(memctrl.Stats{}, dram.Ms(1), 2)
+	if b.Total() != b.Background {
+		t.Fatal("idle energy should be background only")
+	}
+	if b.ActivationShare() != 0 {
+		t.Fatal("idle activation share should be 0")
+	}
+}

@@ -1,0 +1,199 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each experiment
+// is a function returning a Table of the same rows/series the paper
+// reports; the cmd/impress-experiments binary and the repository's
+// benchmark harness invoke them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"impress/internal/core"
+	"impress/internal/sim"
+	"impress/internal/stats"
+	"impress/internal/trace"
+)
+
+// Table is one regenerated result: a title, column headers, data rows and
+// free-form notes comparing against the paper.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Scale controls simulation length: Quick for tests/benchmarks, Full for
+// the complete reproduction.
+type Scale struct {
+	Name        string
+	Warmup, Run int64
+	// Workloads optionally restricts the workload list (nil = all 20).
+	Workloads []string
+}
+
+// QuickScale is sized for CI: a representative workload subset and short
+// runs. Shapes (who wins, roughly by how much) are stable at this scale;
+// absolute percentages carry a few points of noise.
+func QuickScale() Scale {
+	return Scale{
+		Name: "quick", Warmup: 20_000, Run: 100_000,
+		Workloads: []string{"mcf", "gcc", "fotonik3d", "copy", "add", "add_copy"},
+	}
+}
+
+// StandardScale runs all 20 workloads at a length where the geomeans are
+// stable to about a percentage point; this is the scale EXPERIMENTS.md
+// reports.
+func StandardScale() Scale {
+	return Scale{Name: "standard", Warmup: 50_000, Run: 250_000}
+}
+
+// FullScale runs all 20 workloads at the reproduction's full length.
+func FullScale() Scale {
+	return Scale{Name: "full", Warmup: 100_000, Run: 500_000}
+}
+
+// Runner executes and memoizes simulation runs so experiments sharing a
+// configuration (e.g. the No-RP baseline) pay for it once.
+type Runner struct {
+	Scale Scale
+	cache map[string]sim.Result
+}
+
+// NewRunner builds a Runner at the given scale.
+func NewRunner(scale Scale) *Runner {
+	return &Runner{Scale: scale, cache: make(map[string]sim.Result)}
+}
+
+// Workloads returns the workload list for this runner's scale.
+func (r *Runner) Workloads() []trace.Workload {
+	all := trace.Workloads()
+	if r.Scale.Workloads == nil {
+		return all
+	}
+	keep := map[string]bool{}
+	for _, n := range r.Scale.Workloads {
+		keep[n] = true
+	}
+	var out []trace.Workload
+	for _, w := range all {
+		if keep[w.Name] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// RunSpec fully describes one simulation run for memoization.
+type RunSpec struct {
+	Workload  trace.Workload
+	Design    core.Design
+	Tracker   sim.TrackerKind
+	DesignTRH float64
+	RFMTH     int
+}
+
+func (s RunSpec) key() string {
+	return fmt.Sprintf("%s|%s|%s|%g|%d", s.Workload.Name, s.Design.Name(), s.Tracker, s.DesignTRH, s.RFMTH)
+}
+
+// Run executes (or recalls) the described simulation.
+func (r *Runner) Run(spec RunSpec) sim.Result {
+	k := spec.key()
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	cfg := sim.DefaultConfig(spec.Workload, spec.Design, spec.Tracker)
+	cfg.WarmupInstructions = r.Scale.Warmup
+	cfg.RunInstructions = r.Scale.Run
+	if spec.DesignTRH != 0 {
+		cfg.DesignTRH = spec.DesignTRH
+	}
+	if spec.RFMTH != 0 {
+		cfg.RFMTH = spec.RFMTH
+	}
+	res := sim.Run(cfg)
+	r.cache[k] = res
+	return res
+}
+
+// Baseline returns the unprotected (no tracker, no defense) run.
+func (r *Runner) Baseline(w trace.Workload) sim.Result {
+	return r.Run(RunSpec{Workload: w, Design: core.NewDesign(core.NoRP), Tracker: sim.TrackerNone})
+}
+
+// NoRP returns the Rowhammer-only baseline for a tracker (the paper's
+// "No-RP" normalization target).
+func (r *Runner) NoRP(w trace.Workload, tracker sim.TrackerKind, trh float64, rfmth int) sim.Result {
+	return r.Run(RunSpec{
+		Workload: w, Design: core.NewDesign(core.NoRP), Tracker: tracker,
+		DesignTRH: trh, RFMTH: rfmth,
+	})
+}
+
+// geoMeanBy splits per-workload values into the paper's SPEC and STREAM
+// classes and returns their geometric means.
+func geoMeanBy(ws []trace.Workload, vals map[string]float64) (specGM, streamGM float64) {
+	var spec, stream []float64
+	for _, w := range ws {
+		v, ok := vals[w.Name]
+		if !ok {
+			continue
+		}
+		if w.Stream {
+			stream = append(stream, v)
+		} else {
+			spec = append(spec, v)
+		}
+	}
+	if len(spec) > 0 {
+		specGM = stats.GeoMean(spec)
+	}
+	if len(stream) > 0 {
+		streamGM = stats.GeoMean(stream)
+	}
+	return specGM, streamGM
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,85 @@
+// Package memctrl implements the DDR5 memory controller of the paper's
+// baseline system (Table II): per-channel read/write queues with FR-FCFS
+// scheduling, an open-page policy with Minimalist Open Page (MOP-8)
+// address mapping, all-bank refresh, RFM issuing for in-DRAM trackers, and
+// the Row-Press defense hook points (tracker feeding via core.BankPolicy
+// events, tMRO enforcement for ExPress, victim-refresh mitigations).
+package memctrl
+
+import "fmt"
+
+// Location identifies where a cache line lives in the memory system.
+type Location struct {
+	Channel int
+	Bank    int // bank within the channel (sub-channel folded into bank index)
+	Row     int64
+	Col     int // column in cache-line units within the row
+}
+
+// Mapper implements Minimalist Open Page (MOP) interleaving: 8 consecutive
+// cache lines map to one row, then the stream moves to the next channel;
+// banks rotate next, so sequential streams spread across all banks while
+// each row receives exactly one burst of 8 line accesses per pass — the
+// Table II configuration ("Minimalist Open Page (8 lines)").
+type Mapper struct {
+	Channels        int
+	BanksPerChannel int
+	MOPLines        int // consecutive lines per row visit (8)
+	LinesPerRow     int // row size in lines (8 KB row / 64 B line = 128)
+}
+
+// DefaultMapper returns the Table II mapping: 2 channels, 64 banks per
+// channel (32 banks x 2 sub-channels), MOP-8, 8 KB rows.
+func DefaultMapper() Mapper {
+	return Mapper{Channels: 2, BanksPerChannel: 64, MOPLines: 8, LinesPerRow: 128}
+}
+
+// Validate checks mapper parameters.
+func (m Mapper) Validate() error {
+	switch {
+	case m.Channels <= 0 || m.BanksPerChannel <= 0:
+		return fmt.Errorf("memctrl: non-positive geometry: %+v", m)
+	case m.MOPLines <= 0 || m.LinesPerRow <= 0:
+		return fmt.Errorf("memctrl: non-positive row geometry: %+v", m)
+	case m.LinesPerRow%m.MOPLines != 0:
+		return fmt.Errorf("memctrl: row lines %d not divisible by MOP group %d",
+			m.LinesPerRow, m.MOPLines)
+	}
+	return nil
+}
+
+// Map translates a physical byte address to its DRAM location.
+func (m Mapper) Map(addr uint64) Location {
+	line := addr / 64
+	mopOff := int(line) % m.MOPLines
+	grp := line / uint64(m.MOPLines)
+
+	channel := int(grp % uint64(m.Channels))
+	grp /= uint64(m.Channels)
+
+	bank := int(grp % uint64(m.BanksPerChannel))
+	grp /= uint64(m.BanksPerChannel)
+
+	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+	colGroup := int(grp % groupsPerRow)
+	row := int64(grp / groupsPerRow)
+
+	return Location{
+		Channel: channel,
+		Bank:    bank,
+		Row:     row,
+		Col:     colGroup*m.MOPLines + mopOff,
+	}
+}
+
+// Unmap is the inverse of Map, reconstructing the byte address of the
+// first byte of the line at the given location. It is used by tests to
+// verify the mapping is a bijection.
+func (m Mapper) Unmap(loc Location) uint64 {
+	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+	grp := uint64(loc.Row)*groupsPerRow + uint64(loc.Col/m.MOPLines)
+	grp = grp*uint64(m.BanksPerChannel) + uint64(loc.Bank)
+	grp = grp*uint64(m.Channels) + uint64(loc.Channel)
+	line := grp*uint64(m.MOPLines) + uint64(loc.Col%m.MOPLines)
+	return line * 64
+}

@@ -1,0 +1,97 @@
+package memctrl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMapperMOPGrouping(t *testing.T) {
+	m := DefaultMapper()
+	// 8 consecutive lines land in the same row of the same bank/channel
+	// (the Table II "Minimalist Open Page (8 lines)" property).
+	base := m.Map(0)
+	for i := uint64(1); i < 8; i++ {
+		loc := m.Map(i * 64)
+		if loc.Channel != base.Channel || loc.Bank != base.Bank || loc.Row != base.Row {
+			t.Fatalf("line %d left the MOP group: %+v vs %+v", i, loc, base)
+		}
+		if loc.Col != base.Col+int(i) {
+			t.Fatalf("line %d column = %d, want %d", i, loc.Col, base.Col+int(i))
+		}
+	}
+	// The 9th line moves to the other channel.
+	next := m.Map(8 * 64)
+	if next.Channel == base.Channel {
+		t.Fatalf("9th line stayed on channel %d; MOP must switch channels", base.Channel)
+	}
+}
+
+func TestMapperChannelThenBankInterleave(t *testing.T) {
+	m := DefaultMapper()
+	groupBytes := uint64(m.MOPLines) * 64
+	// Groups 0 and 1 differ in channel; groups 0 and 2 differ in bank.
+	g0 := m.Map(0)
+	g1 := m.Map(groupBytes)
+	g2 := m.Map(2 * groupBytes)
+	if g0.Channel == g1.Channel {
+		t.Fatal("adjacent groups must alternate channels")
+	}
+	if g2.Channel != g0.Channel {
+		t.Fatal("group stride of 2 must return to the same channel")
+	}
+	if g2.Bank != g0.Bank+1 {
+		t.Fatalf("bank interleave wrong: %d -> %d", g0.Bank, g2.Bank)
+	}
+}
+
+func TestMapperBijection(t *testing.T) {
+	m := DefaultMapper()
+	f := func(lineRaw uint32) bool {
+		addr := uint64(lineRaw) * 64
+		loc := m.Map(addr)
+		if loc.Channel < 0 || loc.Channel >= m.Channels ||
+			loc.Bank < 0 || loc.Bank >= m.BanksPerChannel ||
+			loc.Col < 0 || loc.Col >= m.LinesPerRow || loc.Row < 0 {
+			return false
+		}
+		return m.Unmap(loc) == addr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperDistinctAddressesDistinctLocations(t *testing.T) {
+	m := DefaultMapper()
+	seen := make(map[Location]uint64)
+	for line := uint64(0); line < 1<<14; line++ {
+		loc := m.Map(line * 64)
+		if prev, dup := seen[loc]; dup {
+			t.Fatalf("lines %d and %d map to the same location %+v", prev, line, loc)
+		}
+		seen[loc] = line
+	}
+}
+
+func TestMapperValidate(t *testing.T) {
+	bad := DefaultMapper()
+	bad.MOPLines = 7 // does not divide 128
+	if bad.Validate() == nil {
+		t.Fatal("expected validation error")
+	}
+	if err := DefaultMapper().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapperRowCapacity64GB(t *testing.T) {
+	// Table II: 64 GB system. The highest line of a 64 GB space must map
+	// to a valid row (row index fits the mapper's implied geometry).
+	m := DefaultMapper()
+	topAddr := uint64(64)<<30 - 64
+	loc := m.Map(topAddr)
+	// 64 GB / (2 ch x 64 banks x 8 KB rows) = 65536 rows per bank.
+	if loc.Row >= 65536 {
+		t.Fatalf("row %d exceeds the 64Ki rows/bank of the Table II system", loc.Row)
+	}
+}

@@ -1,0 +1,621 @@
+package memctrl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"impress/internal/clm"
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/trackers"
+)
+
+// Request is one memory transaction handed to the controller by the LLC.
+type Request struct {
+	Addr  uint64
+	Write bool
+	Loc   Location
+	// OnComplete fires when the data transfer finishes (reads only; writes
+	// are posted). It may be nil.
+	OnComplete func(now dram.Tick)
+
+	arrive dram.Tick
+}
+
+// TrackerFactory builds one tracker instance per bank.
+type TrackerFactory func(bank int) trackers.Tracker
+
+// Config parameterizes the controller.
+type Config struct {
+	Mapper  Mapper
+	Timings dram.Timings
+	Design  core.Design
+	// NewTracker creates the per-bank tracker (already tuned to the
+	// design's T*); nil disables tracking entirely (unprotected baseline).
+	NewTracker TrackerFactory
+	// RFMTH is the RFM cadence in (weighted) activations per bank; it is
+	// honored only when the trackers are in-DRAM. Zero disables RFM.
+	RFMTH int
+	// ReadQueueCap and WriteQueueCap bound the per-channel queues.
+	ReadQueueCap  int
+	WriteQueueCap int
+	// IdleCloseAfter is the adaptive open-page timeout: a row with no
+	// activity for this long is precharged. This is a standard
+	// performance policy (it bounds the Row-Press exposure of *benign*
+	// idle rows and the EACT inflation ImPress-P would otherwise charge
+	// them), NOT a security mechanism — it is orders of magnitude larger
+	// than ExPress's tMRO and applies identically to every design,
+	// including the No-RP baseline. Zero disables it.
+	IdleCloseAfter dram.Tick
+}
+
+// DefaultConfig returns the Table II controller over the given design.
+func DefaultConfig(design core.Design, newTracker TrackerFactory, rfmth int) Config {
+	return Config{
+		Mapper:         DefaultMapper(),
+		Timings:        design.Timings,
+		Design:         design,
+		NewTracker:     newTracker,
+		RFMTH:          rfmth,
+		ReadQueueCap:   64,
+		WriteQueueCap:  128,
+		IdleCloseAfter: dram.Us(1),
+	}
+}
+
+// Stats aggregates controller counters (per channel; Controller sums).
+type Stats struct {
+	Reads, Writes      uint64
+	RowHits, RowMisses uint64
+	RowConflicts       uint64
+	DemandACTs         uint64
+	MitigativeACTs     uint64
+	Mitigations        uint64
+	RFMs               uint64
+	Refreshes          uint64
+	ForcedClosures     uint64 // rows closed by tMRO / tONMax
+	IdleClosures       uint64 // rows closed by the adaptive idle timeout
+	ReadLatencySum     uint64 // in ticks
+	SyntheticACTs      uint64 // ImPress-N window events / ImPress-P has none
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.RowConflicts += other.RowConflicts
+	s.DemandACTs += other.DemandACTs
+	s.MitigativeACTs += other.MitigativeACTs
+	s.Mitigations += other.Mitigations
+	s.RFMs += other.RFMs
+	s.Refreshes += other.Refreshes
+	s.ForcedClosures += other.ForcedClosures
+	s.IdleClosures += other.IdleClosures
+	s.ReadLatencySum += other.ReadLatencySum
+	s.SyntheticACTs += other.SyntheticACTs
+}
+
+// Sub returns s minus other, for warmup-interval accounting.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Reads:          s.Reads - other.Reads,
+		Writes:         s.Writes - other.Writes,
+		RowHits:        s.RowHits - other.RowHits,
+		RowMisses:      s.RowMisses - other.RowMisses,
+		RowConflicts:   s.RowConflicts - other.RowConflicts,
+		DemandACTs:     s.DemandACTs - other.DemandACTs,
+		MitigativeACTs: s.MitigativeACTs - other.MitigativeACTs,
+		Mitigations:    s.Mitigations - other.Mitigations,
+		RFMs:           s.RFMs - other.RFMs,
+		Refreshes:      s.Refreshes - other.Refreshes,
+		ForcedClosures: s.ForcedClosures - other.ForcedClosures,
+		IdleClosures:   s.IdleClosures - other.IdleClosures,
+		ReadLatencySum: s.ReadLatencySum - other.ReadLatencySum,
+		SyntheticACTs:  s.SyntheticACTs - other.SyntheticACTs,
+	}
+}
+
+// starvationTicks is the FR-FCFS anti-starvation age cap: a request older
+// than this gets exclusive service priority (2 microseconds).
+const starvationTicks = dram.Tick(2000 * dram.TicksPerNs)
+
+// closeEvent is a scheduled forced row closure (tMRO/tONMax deadline).
+type closeEvent struct {
+	at   dram.Tick
+	bank int
+	// gen guards against stale events: it must match the bank's ACT
+	// generation for the event to apply.
+	gen uint64
+}
+
+type closeHeap []closeEvent
+
+func (h closeHeap) Len() int            { return len(h) }
+func (h closeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h closeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *closeHeap) Push(x interface{}) { *h = append(*h, x.(closeEvent)) }
+func (h *closeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// bankCtl is the controller's per-bank state.
+type bankCtl struct {
+	policy  core.BankPolicy
+	tracker trackers.Tracker
+
+	eactSinceRFM clm.EACT
+	rfmQueued    bool
+	// mitigQ holds victim rows awaiting mitigative refresh (MC-side
+	// trackers only).
+	mitigQ []int64
+	// mitigOpen marks that the currently open row is a mitigation ACT
+	// that auto-precharges at earliest opportunity.
+	mitigOpen bool
+
+	// Mirror of the DRAM bank's open-row state (hot-path cache).
+	openValid bool
+	openRow   int64
+	actGen    uint64
+	lastUse   dram.Tick // last ACT or column command (idle-close clock)
+}
+
+// channelCtl is the controller's per-channel state.
+type channelCtl struct {
+	ch    *dram.Channel
+	banks []bankCtl
+
+	readQ  []*Request
+	writeQ []*Request
+
+	// busFreeAt gates column commands per sub-channel data bus.
+	busFreeAt [2]dram.Tick
+
+	// refreshing marks refresh draining in progress.
+	refreshing bool
+
+	// forcedClose schedules tMRO/tONMax closures.
+	forcedClose closeHeap
+
+	// mitigBanks lists banks with pending mitigation work (queue or an
+	// open mitigation row).
+	mitigBanks []int
+	// rfmBanks lists banks whose weighted ACT counter crossed RFMTH.
+	rfmBanks []int
+
+	// openBanks counts banks with open rows (refresh drain fast path).
+	openBanks int
+	// nextIdleScan throttles the idle-close sweep.
+	nextIdleScan dram.Tick
+
+	stats Stats
+}
+
+// Controller is the multi-channel DDR5 memory controller.
+type Controller struct {
+	cfg      Config
+	channels []*channelCtl
+
+	windowEnd  dram.Tick
+	inDRAM     bool
+	openLimit  dram.Tick
+	isImpressN bool
+}
+
+// New builds a controller; panics on invalid configuration.
+func New(cfg Config) *Controller {
+	if err := cfg.Mapper.Validate(); err != nil {
+		panic(err)
+	}
+	if err := cfg.Design.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.ReadQueueCap <= 0 || cfg.WriteQueueCap <= 0 {
+		panic("memctrl: queue capacities must be positive")
+	}
+	c := &Controller{
+		cfg:        cfg,
+		windowEnd:  cfg.Timings.TREFW,
+		openLimit:  cfg.Design.RowOpenLimit(),
+		isImpressN: cfg.Design.Kind == core.ImpressN,
+	}
+	for chID := 0; chID < cfg.Mapper.Channels; chID++ {
+		cc := &channelCtl{
+			ch: dram.NewChannel(dram.ChannelConfig{
+				Banks:   cfg.Mapper.BanksPerChannel,
+				Timings: cfg.Timings,
+			}),
+			banks: make([]bankCtl, cfg.Mapper.BanksPerChannel),
+		}
+		for b := range cc.banks {
+			cc.banks[b].policy = core.NewBankPolicy(cfg.Design)
+			if cfg.NewTracker != nil {
+				cc.banks[b].tracker = cfg.NewTracker(chID*cfg.Mapper.BanksPerChannel + b)
+			}
+		}
+		c.channels = append(c.channels, cc)
+	}
+	if cfg.NewTracker != nil {
+		c.inDRAM = c.channels[0].banks[0].tracker.InDRAM()
+	}
+	return c
+}
+
+// Map exposes the address mapping.
+func (c *Controller) Map(addr uint64) Location { return c.cfg.Mapper.Map(addr) }
+
+// CanPush reports whether channel loc.Channel can accept another request
+// of the given kind.
+func (c *Controller) CanPush(loc Location, write bool) bool {
+	cc := c.channels[loc.Channel]
+	if write {
+		return len(cc.writeQ) < c.cfg.WriteQueueCap
+	}
+	return len(cc.readQ) < c.cfg.ReadQueueCap
+}
+
+// Push enqueues a request; callers must check CanPush first (it panics on
+// overflow, which indicates a simulator bug, not backpressure).
+func (c *Controller) Push(now dram.Tick, req *Request) {
+	if !c.CanPush(req.Loc, req.Write) {
+		panic("memctrl: push into full queue")
+	}
+	req.arrive = now
+	cc := c.channels[req.Loc.Channel]
+	if req.Write {
+		cc.writeQ = append(cc.writeQ, req)
+	} else {
+		cc.readQ = append(cc.readQ, req)
+	}
+}
+
+// PendingReads returns the total queued read count (for drain loops).
+func (c *Controller) PendingReads() int {
+	n := 0
+	for _, cc := range c.channels {
+		n += len(cc.readQ)
+	}
+	return n
+}
+
+// Stats returns the summed per-channel statistics.
+func (c *Controller) Stats() Stats {
+	var s Stats
+	for _, cc := range c.channels {
+		s.Add(cc.stats)
+	}
+	return s
+}
+
+// ChannelStats returns the stats of one channel.
+func (c *Controller) ChannelStats(ch int) Stats { return c.channels[ch].stats }
+
+// Channel exposes the underlying DRAM channel (tests, energy accounting).
+func (c *Controller) Channel(ch int) *dram.Channel { return c.channels[ch].ch }
+
+// feed routes defense-policy events into the bank's tracker and queues any
+// mitigations.
+func (c *Controller) feed(cc *channelCtl, b int, events []core.Event, demandACT bool) {
+	if len(events) == 0 {
+		return
+	}
+	bank := &cc.banks[b]
+	rfmDue := clm.EACT(c.cfg.RFMTH) * clm.One
+	for i, ev := range events {
+		bank.eactSinceRFM += ev.Weight
+		if !demandACT || i > 0 {
+			cc.stats.SyntheticACTs++
+		}
+		if bank.tracker == nil {
+			continue
+		}
+		for _, aggressor := range bank.tracker.OnActivation(ev.Row, ev.Weight) {
+			if len(bank.mitigQ) == 0 && !bank.mitigOpen {
+				cc.mitigBanks = append(cc.mitigBanks, b)
+			}
+			bank.mitigQ = append(bank.mitigQ, trackers.VictimsOf(aggressor)...)
+			cc.stats.Mitigations++
+		}
+	}
+	if c.inDRAM && c.cfg.RFMTH > 0 && bank.eactSinceRFM >= rfmDue && !bank.rfmQueued {
+		bank.rfmQueued = true
+		cc.rfmBanks = append(cc.rfmBanks, b)
+	}
+}
+
+// Tick advances the controller by one DRAM cycle at time now. It issues at
+// most one command per channel per cycle.
+func (c *Controller) Tick(now dram.Tick) {
+	// Refresh-window boundary: all victims refreshed, trackers reset.
+	if now >= c.windowEnd {
+		for _, cc := range c.channels {
+			for b := range cc.banks {
+				if cc.banks[b].tracker != nil {
+					cc.banks[b].tracker.ResetWindow()
+				}
+			}
+		}
+		c.windowEnd += c.cfg.Timings.TREFW
+	}
+	for _, cc := range c.channels {
+		c.tickChannel(cc, now)
+	}
+}
+
+func (c *Controller) tickChannel(cc *channelCtl, now dram.Tick) {
+	// 1. Refresh has absolute priority once due: drain open rows, then REF.
+	if cc.refreshing || cc.ch.RefreshDue(now) {
+		cc.refreshing = true
+		if cc.openBanks == 0 {
+			cc.ch.Tick(now)
+			if cc.ch.CanRefresh(now) {
+				cc.ch.Refresh(now)
+				cc.stats.Refreshes++
+				cc.refreshing = false
+			}
+			return
+		}
+		// Precharge one open row per cycle (command-bus limit).
+		for b := range cc.banks {
+			if cc.banks[b].openValid && cc.ch.CanPrecharge(now, b) {
+				c.closeRow(cc, b, now, cc.banks[b].mitigOpen)
+				return
+			}
+		}
+		return // waiting for tRAS of some open row
+	}
+
+	// 2. ImPress-N window advancement for open banks (cheap early-out per
+	// bank: a comparison against the next window boundary).
+	if c.isImpressN && cc.openBanks > 0 {
+		for b := range cc.banks {
+			if cc.banks[b].openValid {
+				c.feed(cc, b, cc.banks[b].policy.Advance(now), false)
+			}
+		}
+	}
+
+	// 3. Forced closures (tMRO for ExPress, tONMax otherwise).
+	for len(cc.forcedClose) > 0 && cc.forcedClose[0].at <= now {
+		ev := cc.forcedClose[0]
+		bank := &cc.banks[ev.bank]
+		if !bank.openValid || bank.actGen != ev.gen {
+			heap.Pop(&cc.forcedClose) // stale: row already closed
+			continue
+		}
+		if cc.ch.CanPrecharge(now, ev.bank) {
+			heap.Pop(&cc.forcedClose)
+			cc.stats.ForcedClosures++
+			c.closeRow(cc, ev.bank, now, bank.mitigOpen)
+			return
+		}
+		break // tRAS not yet satisfied; retry next cycle
+	}
+
+	// 3b. Adaptive idle-close: sweep open rows with no recent activity
+	// (throttled; 16-cycle granularity against a microsecond timeout).
+	if c.cfg.IdleCloseAfter > 0 && cc.openBanks > 0 && now >= cc.nextIdleScan {
+		cc.nextIdleScan = now + 16*dram.TicksPerDRAMCycle
+		for b := range cc.banks {
+			bank := &cc.banks[b]
+			if bank.openValid && !bank.mitigOpen &&
+				now-bank.lastUse >= c.cfg.IdleCloseAfter && cc.ch.CanPrecharge(now, b) {
+				cc.stats.IdleClosures++
+				c.closeRow(cc, b, now, false)
+				return
+			}
+		}
+	}
+
+	// 4. Mitigation work: close finished mitigation rows, open next victims.
+	if len(cc.mitigBanks) > 0 && c.mitigationStep(cc, now) {
+		return
+	}
+
+	// 5. RFM for in-DRAM trackers.
+	if len(cc.rfmBanks) > 0 && c.rfmStep(cc, now) {
+		return
+	}
+
+	// 6. Demand scheduling: FR-FCFS over reads, then writes.
+	serveWrites := len(cc.writeQ) >= c.cfg.WriteQueueCap*3/4 || len(cc.readQ) == 0
+	if c.schedule(cc, now, cc.readQ, false) {
+		return
+	}
+	if serveWrites {
+		c.schedule(cc, now, cc.writeQ, true)
+	}
+}
+
+// mitigationStep performs one command of mitigation work; returns true if
+// a command was issued.
+func (c *Controller) mitigationStep(cc *channelCtl, now dram.Tick) bool {
+	for i := 0; i < len(cc.mitigBanks); i++ {
+		b := cc.mitigBanks[i]
+		bank := &cc.banks[b]
+		if bank.mitigOpen {
+			if cc.ch.CanPrecharge(now, b) {
+				c.closeRow(cc, b, now, true)
+				bank.mitigOpen = false
+				if len(bank.mitigQ) == 0 {
+					cc.mitigBanks = append(cc.mitigBanks[:i], cc.mitigBanks[i+1:]...)
+				}
+				return true
+			}
+			continue
+		}
+		if len(bank.mitigQ) == 0 {
+			cc.mitigBanks = append(cc.mitigBanks[:i], cc.mitigBanks[i+1:]...)
+			i--
+			continue
+		}
+		if bank.openValid {
+			// A demand row occupies the bank; close it to make room once
+			// legal (mitigations take priority to bound exposure).
+			if cc.ch.CanPrecharge(now, b) {
+				cc.stats.RowConflicts++
+				c.closeRow(cc, b, now, false)
+				return true
+			}
+			continue
+		}
+		if cc.ch.CanActivate(now, b) {
+			victim := bank.mitigQ[0]
+			bank.mitigQ = bank.mitigQ[1:]
+			c.activate(cc, b, victim, now, true)
+			bank.mitigOpen = true
+			cc.stats.MitigativeACTs++
+			return true
+		}
+	}
+	return false
+}
+
+// rfmStep issues one RFM if possible; returns true if a command was issued.
+func (c *Controller) rfmStep(cc *channelCtl, now dram.Tick) bool {
+	for i := 0; i < len(cc.rfmBanks); i++ {
+		b := cc.rfmBanks[i]
+		bank := &cc.banks[b]
+		if bank.openValid {
+			// Close the row first (an RFM-forced conflict).
+			if cc.ch.CanPrecharge(now, b) {
+				cc.stats.RowConflicts++
+				c.closeRow(cc, b, now, false)
+				return true
+			}
+			continue
+		}
+		cc.ch.Tick(now)
+		if cc.ch.Bank(b).CanRefresh(now) {
+			cc.ch.RFM(now, b)
+			bank.eactSinceRFM = 0
+			bank.rfmQueued = false
+			cc.rfmBanks = append(cc.rfmBanks[:i], cc.rfmBanks[i+1:]...)
+			cc.stats.RFMs++
+			if bank.tracker != nil {
+				// In-DRAM mitigation happens under the RFM itself; no
+				// extra bus traffic.
+				cc.stats.Mitigations += uint64(len(bank.tracker.OnRFM()))
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// schedule attempts to issue one command for the given queue in a single
+// FR-FCFS pass: the oldest ready row-hit wins; otherwise the oldest
+// request that needs an ACT (idle bank) or a conflict PRE.
+func (c *Controller) schedule(cc *channelCtl, now dram.Tick, q []*Request, isWrite bool) bool {
+	if len(q) == 0 {
+		return false
+	}
+	// Anti-starvation age cap: once the oldest request has waited past the
+	// threshold, service is restricted to it so a stream of younger
+	// row hits cannot defer it indefinitely (standard FR-FCFS guard).
+	if now-q[0].arrive > starvationTicks {
+		q = q[:1]
+	}
+	var hit *Request
+	workBank := -1 // bank of the oldest request needing ACT/PRE
+	var workRow int64
+	workIsACT := false
+	for _, req := range q {
+		b := req.Loc.Bank
+		bank := &cc.banks[b]
+		if bank.mitigOpen {
+			continue
+		}
+		if bank.openValid {
+			if bank.openRow == req.Loc.Row {
+				sub := b >> 5 // banks 0-31 on sub-channel 0, 32-63 on 1
+				if now >= cc.busFreeAt[sub] && cc.ch.CanColumn(now, b, req.Loc.Row) {
+					hit = req
+					break // oldest ready hit wins immediately
+				}
+			} else if workBank < 0 && cc.ch.CanPrecharge(now, b) {
+				workBank, workIsACT = b, false
+			}
+		} else if workBank < 0 && cc.ch.CanActivate(now, b) {
+			workBank, workRow, workIsACT = b, req.Loc.Row, true
+		}
+	}
+	if hit != nil {
+		c.issueColumn(cc, hit, now, isWrite)
+		return true
+	}
+	if workBank >= 0 {
+		if workIsACT {
+			c.activate(cc, workBank, workRow, now, false)
+			cc.stats.DemandACTs++
+			cc.stats.RowMisses++
+		} else {
+			cc.stats.RowConflicts++
+			c.closeRow(cc, workBank, now, false)
+		}
+		return true
+	}
+	return false
+}
+
+func (c *Controller) issueColumn(cc *channelCtl, req *Request, now dram.Tick, isWrite bool) {
+	b := req.Loc.Bank
+	done := cc.ch.Column(now, b, req.Loc.Row, isWrite)
+	sub := b >> 5
+	cc.busFreeAt[sub] = now + c.cfg.Timings.TBurst
+	cc.banks[b].lastUse = now
+	cc.stats.RowHits++
+	if isWrite {
+		cc.stats.Writes++
+		cc.writeQ = removeReq(cc.writeQ, req)
+	} else {
+		cc.stats.Reads++
+		cc.stats.ReadLatencySum += uint64(done - req.arrive)
+		cc.readQ = removeReq(cc.readQ, req)
+		if req.OnComplete != nil {
+			req.OnComplete(done)
+		}
+	}
+}
+
+func (c *Controller) activate(cc *channelCtl, b int, row int64, now dram.Tick, mitigative bool) {
+	cc.ch.Activate(now, b, row, mitigative)
+	bank := &cc.banks[b]
+	bank.openValid = true
+	bank.openRow = row
+	bank.actGen++
+	bank.lastUse = now
+	cc.openBanks++
+	heap.Push(&cc.forcedClose, closeEvent{at: now + c.openLimit, bank: b, gen: bank.actGen})
+	if !mitigative {
+		c.feed(cc, b, bank.policy.OnActivate(now, row), true)
+	}
+	// Mitigative activations do not participate in tracking: they are
+	// controller-generated refreshes, not attacker-controllable traffic.
+}
+
+func (c *Controller) closeRow(cc *channelCtl, b int, now dram.Tick, mitigative bool) {
+	bank := &cc.banks[b]
+	row := bank.openRow
+	tON := cc.ch.Precharge(now, b, mitigative)
+	bank.openValid = false
+	bank.mitigOpen = false // stale mitigBanks entries are pruned lazily
+	cc.openBanks--
+	if !mitigative {
+		c.feed(cc, b, bank.policy.OnPrecharge(now, row, tON), false)
+	}
+}
+
+func removeReq(q []*Request, target *Request) []*Request {
+	for i, r := range q {
+		if r == target {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	panic(fmt.Sprintf("memctrl: request %p not in queue", target))
+}

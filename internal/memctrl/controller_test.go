@@ -1,0 +1,244 @@
+package memctrl
+
+import (
+	"testing"
+
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/stats"
+	"impress/internal/trackers"
+)
+
+// tick runs the controller for n DRAM cycles starting at tick start and
+// returns the final time.
+func tick(c *Controller, start dram.Tick, n int) dram.Tick {
+	now := start
+	for i := 0; i < n; i++ {
+		c.Tick(now)
+		now += dram.TicksPerDRAMCycle
+	}
+	return now
+}
+
+func simpleController(design core.Design, factory TrackerFactory, rfmth int) *Controller {
+	cfg := DefaultConfig(design, factory, rfmth)
+	return New(cfg)
+}
+
+func TestReadCompletes(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	var doneAt dram.Tick
+	req := &Request{Addr: 0, Loc: c.Map(0), OnComplete: func(now dram.Tick) { doneAt = now }}
+	c.Push(0, req)
+	end := tick(c, 0, 200)
+	if doneAt == 0 {
+		t.Fatalf("read did not complete within %d ticks", end)
+	}
+	s := c.Stats()
+	if s.Reads != 1 || s.DemandACTs != 1 || s.RowMisses != 1 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	// Timing sanity: ACT + tRCD + CAS + burst ~= 29ns minimum.
+	tm := dram.DDR5()
+	if doneAt < tm.TACT+tm.TCAS+tm.TBurst {
+		t.Fatalf("read completed impossibly fast at %d", doneAt)
+	}
+}
+
+func TestRowHitAfterOpen(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	done := 0
+	// Two reads to the same row (consecutive lines in a MOP group).
+	for i := uint64(0); i < 2; i++ {
+		req := &Request{Addr: i * 64, Loc: c.Map(i * 64), OnComplete: func(dram.Tick) { done++ }}
+		c.Push(0, req)
+	}
+	tick(c, 0, 300)
+	if done != 2 {
+		t.Fatalf("completed %d reads, want 2", done)
+	}
+	s := c.Stats()
+	if s.DemandACTs != 1 {
+		t.Fatalf("same-row reads must share one ACT, got %d", s.DemandACTs)
+	}
+	if s.RowHits != 2 {
+		t.Fatalf("row hits = %d, want 2", s.RowHits)
+	}
+}
+
+func TestRowConflictCloses(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	m := DefaultMapper()
+	// Two addresses in the same bank, different rows: same group position
+	// but different row index. Row stride in bytes:
+	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+	rowStride := uint64(m.MOPLines) * 64 * uint64(m.Channels) * uint64(m.BanksPerChannel) * groupsPerRow
+	a, b := uint64(0), rowStride
+	if la, lb := c.Map(a), c.Map(b); la.Bank != lb.Bank || la.Channel != lb.Channel || la.Row == lb.Row {
+		t.Fatalf("test addresses do not conflict: %+v vs %+v", la, lb)
+	}
+	done := 0
+	c.Push(0, &Request{Addr: a, Loc: c.Map(a), OnComplete: func(dram.Tick) { done++ }})
+	c.Push(0, &Request{Addr: b, Loc: c.Map(b), OnComplete: func(dram.Tick) { done++ }})
+	tick(c, 0, 1000)
+	if done != 2 {
+		t.Fatalf("completed %d, want 2", done)
+	}
+	s := c.Stats()
+	if s.RowConflicts == 0 {
+		t.Fatal("expected a row-conflict precharge")
+	}
+	if s.DemandACTs != 2 {
+		t.Fatalf("ACTs = %d, want 2", s.DemandACTs)
+	}
+}
+
+func TestWritePosted(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	c.Push(0, &Request{Addr: 0, Write: true, Loc: c.Map(0)})
+	tick(c, 0, 500)
+	if s := c.Stats(); s.Writes != 1 {
+		t.Fatalf("write not drained: %+v", s)
+	}
+}
+
+func TestRefreshCadence(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	tm := dram.DDR5()
+	// Run for 4 tREFI with no traffic: expect 4 refreshes per channel.
+	cycles := int(4 * tm.TREFI / dram.TicksPerDRAMCycle)
+	tick(c, 0, cycles+100)
+	if got := c.Channel(0).Refreshes(); got < 3 || got > 5 {
+		t.Fatalf("channel refreshes = %d, want ~4", got)
+	}
+}
+
+func TestTMROForcesClosure(t *testing.T) {
+	design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(96))
+	c := simpleController(design, nil, 0)
+	done := 0
+	c.Push(0, &Request{Addr: 0, Loc: c.Map(0), OnComplete: func(dram.Tick) { done++ }})
+	tick(c, 0, 2000)
+	if done != 1 {
+		t.Fatal("read did not complete")
+	}
+	if s := c.Stats(); s.ForcedClosures != 1 {
+		t.Fatalf("forced closures = %d, want 1 (tMRO)", s.ForcedClosures)
+	}
+}
+
+func TestNoRPKeepsRowOpenUntilTONMax(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	tm := dram.DDR5()
+	c.Push(0, &Request{Addr: 0, Loc: c.Map(0)})
+	// Not a write; no OnComplete. Run for less than tONMax: row must stay
+	// open (open-page policy, no design limit).
+	loc := c.Map(0)
+	tick(c, 0, int(tm.TONMax/dram.TicksPerDRAMCycle)-200)
+	if _, open := c.Channel(loc.Channel).Bank(loc.Bank).OpenRow(); !open {
+		// Refresh may have closed it; allow that path only if a refresh
+		// happened on that channel recently. Simpler check: forced
+		// closures must be zero before tONMax.
+		if s := c.Stats(); s.ForcedClosures > 0 {
+			t.Fatalf("row force-closed before tONMax: %+v", s)
+		}
+	}
+}
+
+func TestGrapheneMitigationTraffic(t *testing.T) {
+	factory := func(int) trackers.Tracker { return trackers.NewGrapheneRaw(8, 8*128) } // threshold 8 ACTs
+	c := simpleController(core.NewDesign(core.NoRP), factory, 0)
+	loc := c.Map(0)
+	m := DefaultMapper()
+	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+	rowStride := uint64(m.MOPLines) * 64 * uint64(m.Channels) * uint64(m.BanksPerChannel) * groupsPerRow
+	// Hammer two alternating rows in one bank so every access re-ACTs.
+	now := dram.Tick(0)
+	done := 0
+	for i := 0; i < 40; i++ {
+		addr := uint64(i%2) * rowStride
+		for !c.CanPush(loc, false) {
+			c.Tick(now)
+			now += dram.TicksPerDRAMCycle
+		}
+		c.Push(now, &Request{Addr: addr, Loc: c.Map(addr), OnComplete: func(dram.Tick) { done++ }})
+		for j := 0; j < 60; j++ {
+			c.Tick(now)
+			now += dram.TicksPerDRAMCycle
+		}
+	}
+	s := c.Stats()
+	if s.Mitigations == 0 {
+		t.Fatalf("hammering 20x each of two rows with threshold 8 must mitigate: %+v", s)
+	}
+	if s.MitigativeACTs != s.Mitigations*trackers.ActsPerMitigation {
+		t.Fatalf("mitigative ACT accounting: %d mitigations but %d ACTs",
+			s.Mitigations, s.MitigativeACTs)
+	}
+}
+
+func TestRFMIssuedForInDRAMTracker(t *testing.T) {
+	rng := stats.NewRand(1)
+	factory := func(int) trackers.Tracker { return trackers.NewMINT(8, rng.Split()) }
+	c := simpleController(core.NewDesign(core.NoRP), factory, 8)
+	// Issue enough demand to one bank to cross RFMTH=8.
+	m := DefaultMapper()
+	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+	rowStride := uint64(m.MOPLines) * 64 * uint64(m.Channels) * uint64(m.BanksPerChannel) * groupsPerRow
+	now := dram.Tick(0)
+	for i := 0; i < 24; i++ {
+		addr := uint64(i%2) * rowStride // force re-ACT each time
+		for !c.CanPush(c.Map(addr), false) {
+			c.Tick(now)
+			now += dram.TicksPerDRAMCycle
+		}
+		c.Push(now, &Request{Addr: addr, Loc: c.Map(addr)})
+		for j := 0; j < 60; j++ {
+			c.Tick(now)
+			now += dram.TicksPerDRAMCycle
+		}
+	}
+	if s := c.Stats(); s.RFMs == 0 {
+		t.Fatalf("no RFM issued after >8 ACTs to a bank: %+v", s)
+	}
+}
+
+func TestImpressNSyntheticACTs(t *testing.T) {
+	// A row left open under ImPress-N accrues synthetic window events.
+	c := simpleController(core.NewDesign(core.ImpressN), nil, 0)
+	c.Push(0, &Request{Addr: 0, Loc: c.Map(0)})
+	tm := dram.DDR5()
+	tick(c, 0, int(20*tm.TRC/dram.TicksPerDRAMCycle))
+	if s := c.Stats(); s.SyntheticACTs < 10 {
+		t.Fatalf("synthetic ACTs = %d, want ~18 for a row open 20 windows", s.SyntheticACTs)
+	}
+}
+
+func TestPushPanicsWhenFull(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	loc := c.Map(0)
+	for i := 0; c.CanPush(loc, false); i++ {
+		c.Push(0, &Request{Addr: uint64(i) * 4096, Loc: loc})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overflow push")
+		}
+	}()
+	c.Push(0, &Request{Addr: 0, Loc: loc})
+}
+
+func TestStatsSubRoundTrip(t *testing.T) {
+	a := Stats{Reads: 10, DemandACTs: 5, RowHits: 7}
+	b := Stats{Reads: 4, DemandACTs: 2, RowHits: 3}
+	d := a.Sub(b)
+	if d.Reads != 6 || d.DemandACTs != 3 || d.RowHits != 4 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	var sum Stats
+	sum.Add(b)
+	sum.Add(d)
+	if sum != a {
+		t.Fatalf("Add(Sub) does not round-trip: %+v vs %+v", sum, a)
+	}
+}

@@ -1,0 +1,116 @@
+package memctrl
+
+import (
+	"testing"
+
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/stats"
+	"impress/internal/trackers"
+)
+
+// Liveness under random traffic: every read pushed into the controller
+// must eventually complete, for every defense design, with no timing
+// panics from the DRAM model (the bank state machines panic on any
+// illegal command, so this doubles as a scheduling-legality fuzz test).
+func TestRandomTrafficLiveness(t *testing.T) {
+	designs := []core.Design{
+		core.NewDesign(core.NoRP),
+		core.NewDesign(core.ExPress).WithTMRO(dram.Ns(66)),
+		core.NewDesign(core.ImpressN),
+		core.NewDesign(core.ImpressP),
+	}
+	for _, d := range designs {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			rng := stats.NewRand(0xfeed)
+			factory := func(int) trackers.Tracker { return trackers.NewGraphene(400) }
+			c := New(DefaultConfig(d, factory, 80))
+			completed := 0
+			pushed := 0
+			now := dram.Tick(0)
+			const total = 2000
+			for completed < total {
+				// Random pushes with random locality.
+				for pushed < total && pushed-completed < 40 {
+					var addr uint64
+					if rng.Bernoulli(0.5) {
+						addr = uint64(rng.Uint64n(1<<14) * 64) // hot region
+					} else {
+						addr = uint64(rng.Uint64n(1<<28) * 64) // cold region
+					}
+					write := rng.Bernoulli(0.3)
+					loc := c.Map(addr)
+					if !c.CanPush(loc, write) {
+						break
+					}
+					if write {
+						c.Push(now, &Request{Addr: addr, Write: true, Loc: loc})
+						completed++ // posted
+					} else {
+						c.Push(now, &Request{Addr: addr, Loc: loc,
+							OnComplete: func(dram.Tick) { completed++ }})
+					}
+					pushed++
+				}
+				c.Tick(now)
+				now += dram.TicksPerDRAMCycle
+				if now > dram.Ms(20) {
+					t.Fatalf("liveness violated: %d/%d completed by 20ms", completed, total)
+				}
+			}
+		})
+	}
+}
+
+// The scheduler must never violate DRAM timing: run dense same-bank
+// conflicting traffic (worst case for tRC/tRAS interlocks) with and
+// without the tightest tMRO. Bank state machines panic on violations, so
+// completing the storm is the proof of legality.
+func TestConflictStormTimingLegality(t *testing.T) {
+	cases := []struct {
+		design        core.Design
+		wantConflicts bool // open-page keeps rows open -> conflict PREs
+		wantForced    bool // tMRO = tRAS -> forced closures instead
+	}{
+		{core.NewDesign(core.NoRP), true, false},
+		{core.NewDesign(core.ExPress).WithTMRO(dram.Ns(36)), false, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.design.Name(), func(t *testing.T) {
+			c := New(DefaultConfig(tc.design, nil, 0))
+			m := DefaultMapper()
+			groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+			rowStride := uint64(m.MOPLines) * 64 * uint64(m.Channels) *
+				uint64(m.BanksPerChannel) * groupsPerRow
+			now := dram.Tick(0)
+			done := 0
+			const total = 300
+			pushedCount := 0
+			for done < total && now < dram.Ms(5) {
+				for pushedCount < total && pushedCount-done < 30 {
+					addr := uint64(pushedCount%7) * rowStride // 7 rows, one bank
+					loc := c.Map(addr)
+					if !c.CanPush(loc, false) {
+						break
+					}
+					c.Push(now, &Request{Addr: addr, Loc: loc, OnComplete: func(dram.Tick) { done++ }})
+					pushedCount++
+				}
+				c.Tick(now)
+				now += dram.TicksPerDRAMCycle
+			}
+			if done < total {
+				t.Fatalf("conflict storm starved: %d/%d", done, total)
+			}
+			s := c.Stats()
+			if tc.wantConflicts && s.RowConflicts == 0 {
+				t.Fatal("open-page storm produced no conflict PREs")
+			}
+			if tc.wantForced && s.ForcedClosures == 0 {
+				t.Fatal("tMRO storm produced no forced closures")
+			}
+		})
+	}
+}

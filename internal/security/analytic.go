@@ -1,0 +1,49 @@
+package security
+
+import "math"
+
+// Analytic attack-slowdown models from Appendix B (Figures 18 and 19):
+// the performance impact of the combined RH+RP pattern of Fig. 17 on a
+// system protected by ImPress-P, as a function of the Row-Press parameter
+// K (extra open time in tRC per round).
+
+// GrapheneAttackSlowdown returns Equation 9: with ImPress-P converting
+// Row-Press into an equivalent amount of Rowhammer, Graphene's mitigation
+// overhead is 8/TRH regardless of K (4 mitigative activations every
+// TRH/2 equivalent activations).
+func GrapheneAttackSlowdown(trh float64, k int) float64 {
+	if trh <= 0 {
+		panic("security: non-positive TRH")
+	}
+	_ = k // independent of K — that is the point of the equation
+	return 8 / trh
+}
+
+// PARAAppendixProbability returns the PARA selection probability used by
+// the Appendix B analysis: 1/84 at TRH = 4000, scaling inversely with the
+// threshold (1/42 at 2K, 1/21 at 1K).
+func PARAAppendixProbability(trh float64) float64 {
+	if trh <= 0 {
+		panic("security: non-positive TRH")
+	}
+	return math.Min(1, 4000.0/(84.0*trh))
+}
+
+// PARAAttackSlowdown returns Equation 10: each loop iteration takes
+// (K+1) tRC and is selected for a 4-activation mitigation with probability
+// MIN(1, p*(K+1)) under ImPress-P, so
+//
+//	slowdown = 4 * MIN(1, p*(K+1)) / (K+1)
+func PARAAttackSlowdown(trh float64, k int) float64 {
+	p := PARAAppendixProbability(trh)
+	kk := float64(k + 1)
+	return 4 * math.Min(1, p*kk) / kk
+}
+
+// PARASlowdownCriticalK returns the Row-Press parameter beyond which
+// PARA's selection probability saturates at 1 and the attack's slowdown
+// starts to fall (the knee in Fig. 19): K such that p*(K+1) = 1.
+func PARASlowdownCriticalK(trh float64) int {
+	p := PARAAppendixProbability(trh)
+	return int(math.Ceil(1/p)) - 1
+}

@@ -1,0 +1,219 @@
+// Package security measures the effectiveness of Row-Press defenses
+// against adversarial patterns. It replays attack patterns from
+// internal/attack against a (defense, tracker) pair on a single-bank
+// model, accumulating per-victim damage with the unified charge-loss model
+// at an attacker-chosen "true" device alpha, and reports the maximum
+// damage any row accumulates before its victims are refreshed — the
+// empirical effective threshold the design tolerates.
+//
+// The package also contains the analytic attack-slowdown models of
+// Appendix B (Figures 18 and 19) and the storage-overhead calculator of
+// Section VI-C.
+package security
+
+import (
+	"fmt"
+
+	"impress/internal/attack"
+	"impress/internal/clm"
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/trackers"
+)
+
+// TrackerFactory builds a per-bank tracker configured for the given
+// tolerated threshold (already reduced to T* by the defense design where
+// applicable).
+type TrackerFactory func(trackerTRH float64) trackers.Tracker
+
+// Config describes one security experiment.
+type Config struct {
+	// Design is the Row-Press defense under test.
+	Design core.Design
+	// DesignTRH is the DRAM device's true Rowhammer threshold the system
+	// is provisioned for.
+	DesignTRH float64
+	// AlphaTrue is the device's actual Row-Press leakage rate used for
+	// damage accounting (the attacker gets the benefit of the real
+	// device, not the designer's model).
+	AlphaTrue float64
+	// RFMTH is the controller's RFM cadence in activations per bank
+	// (used only when the tracker is in-DRAM). Zero disables RFM.
+	RFMTH int
+	// Duration bounds the attack; zero means one refresh window (tREFW),
+	// the natural horizon since all victims refresh once per window.
+	Duration dram.Tick
+	// Tracker builds the tracker under test.
+	Tracker TrackerFactory
+	// RFMPaceOnRawACTs is an ABLATION switch: pace RFM on raw activation
+	// counts (the plain DDR5 RAA counter) instead of the weighted EACT
+	// stream. With ImPress and an in-DRAM tracker this re-opens the
+	// Row-Press hole — an attacker doing long holds generates few ACTs
+	// and starves the tracker of mitigation windows — which is why the
+	// design paces RFM on EACT (see the RFMPacing ablation test).
+	RFMPaceOnRawACTs bool
+}
+
+// Result summarizes one harness run.
+type Result struct {
+	Pattern   string
+	MaxDamage float64 // peak damage (in TRH units) any row ever reached
+
+	DemandACTs     uint64
+	MitigativeACTs uint64
+	Mitigations    uint64
+	RFMs           uint64
+	Refreshes      uint64
+
+	Elapsed        dram.Tick // total wall-clock time simulated
+	MitigationTime dram.Tick // time spent on mitigation work (MC-side)
+}
+
+// Slowdown returns the fraction of time lost to mitigation work (the
+// Appendix-B metric: t_mitigation / t_N).
+func (r Result) Slowdown() float64 {
+	base := r.Elapsed - r.MitigationTime
+	if base <= 0 {
+		return 0
+	}
+	return float64(r.MitigationTime) / float64(base)
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: maxDamage=%.1f acts=%d mitigations=%d slowdown=%.2f%%",
+		r.Pattern, r.MaxDamage, r.DemandACTs, r.Mitigations, 100*r.Slowdown())
+}
+
+// Run replays pattern against cfg and returns the measured result.
+//
+// Model simplifications (documented in DESIGN.md §5): regular tREFI
+// refreshes are served whenever the bank is idle and consume tRFC each
+// (refresh postponement is implicit — row-open time is already bounded by
+// the design's row-open limit, which never exceeds the DDR5 tONMax of
+// 5 tREFI); the per-window victim refresh is modeled as a full damage
+// reset at each tREFW boundary. Mitigations requested while the aggressor
+// row is open are applied when it closes, since victim rows share the
+// bank and cannot be activated while another row is open.
+func Run(cfg Config, pattern attack.Pattern) Result {
+	t := cfg.Design.Timings
+	if err := cfg.Design.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Tracker == nil {
+		panic("security: missing tracker factory")
+	}
+	duration := cfg.Duration
+	if duration == 0 {
+		duration = t.TREFW
+	}
+
+	policy := core.NewBankPolicy(cfg.Design)
+	tr := cfg.Tracker(cfg.Design.TrackerTRH(cfg.DesignTRH))
+	model := clm.Model{Alpha: cfg.AlphaTrue, Timings: t}
+	openLimit := cfg.Design.RowOpenLimit()
+
+	res := Result{Pattern: pattern.Name()}
+	damage := make(map[int64]float64)
+	now := dram.Tick(0)
+	served := int64(0)
+	windowEnd := t.TREFW
+	// RFM pacing operates on the same weighted activation stream the
+	// tracker sees: under No-RP and ExPress every ACT contributes exactly
+	// One, reproducing the plain DDR5 RAA counter; under ImPress the
+	// Row-Press-equivalent activity also advances the counter, so a
+	// pressing attacker cannot starve an in-DRAM tracker of mitigation
+	// opportunities.
+	var eactSinceRFM clm.EACT
+
+	var pending []int64 // aggressor rows awaiting victim refresh
+
+	feed := func(events []core.Event) {
+		for _, ev := range events {
+			if cfg.RFMPaceOnRawACTs {
+				eactSinceRFM += clm.One
+			} else {
+				eactSinceRFM += ev.Weight
+			}
+			pending = append(pending, tr.OnActivation(ev.Row, ev.Weight)...)
+		}
+	}
+	refreshVictims := func(aggressor int64) {
+		for _, v := range trackers.VictimsOf(aggressor) {
+			damage[v] = 0
+		}
+	}
+	accrue := func(row int64, tON dram.Tick) {
+		d := model.AccessTCL(tON)
+		for _, v := range trackers.VictimsOf(row) {
+			damage[v] += d
+			if damage[v] > res.MaxDamage {
+				res.MaxDamage = damage[v]
+			}
+		}
+	}
+
+	for now < duration {
+		// Serve any refreshes that have come due while the bank is idle.
+		if due := int64(now/t.TREFI) - served; due > 0 {
+			now += dram.Tick(due) * t.TRFC
+			served += due
+			res.Refreshes += uint64(due)
+		}
+		// Refresh-window boundary: every victim has been refreshed.
+		if now >= windowEnd {
+			for r := range damage {
+				damage[r] = 0
+			}
+			tr.ResetWindow()
+			windowEnd += t.TREFW
+		}
+
+		acc := pattern.Next(now)
+		actAt := acc.ActAt
+		if actAt < now {
+			actAt = now
+		}
+		tON := acc.TON
+		if tON < t.TRAS {
+			tON = t.TRAS
+		}
+		if tON > openLimit {
+			// ExPress's tMRO (or the DDR5 tONMax) forces the row closed.
+			tON = openLimit
+		}
+
+		feed(policy.OnActivate(actAt, acc.Row))
+		res.DemandACTs++
+
+		closeAt := actAt + tON
+		accrue(acc.Row, tON)
+		feed(policy.OnPrecharge(closeAt, acc.Row, tON))
+		now = closeAt + t.TPRE
+
+		// Apply memory-controller mitigations queued during this access.
+		for _, aggressor := range pending {
+			refreshVictims(aggressor)
+			res.Mitigations++
+			res.MitigativeACTs += trackers.ActsPerMitigation
+			cost := dram.Tick(trackers.ActsPerMitigation) * t.TRC
+			now += cost
+			res.MitigationTime += cost
+		}
+		pending = pending[:0]
+
+		// RFM cadence for in-DRAM trackers: due every RFMTH units of
+		// weighted activation.
+		if tr.InDRAM() && cfg.RFMTH > 0 && eactSinceRFM >= clm.EACT(cfg.RFMTH)*clm.One {
+			eactSinceRFM = 0
+			now += t.TRFM
+			res.RFMs++
+			for _, aggressor := range tr.OnRFM() {
+				refreshVictims(aggressor)
+				res.Mitigations++
+			}
+		}
+	}
+	res.Elapsed = now
+	return res
+}

@@ -1,0 +1,134 @@
+package security
+
+import (
+	"math"
+
+	"impress/internal/clm"
+	"impress/internal/trackers"
+)
+
+// Storage-overhead calculator (Section VI-C and Appendix A).
+//
+// Bit widths are calibrated to the paper's reported SRAM figures for the
+// baseline configuration (64 banks per channel: 32 banks x 2 sub-channels):
+// Graphene at TRH = 4K uses 448 entries/bank and 115 KB/channel, Mithril
+// at RFMTH = 80 uses 383 entries/bank and 86 KB/channel.
+
+// BanksPerChannel is the paper's Table II organization: 32 banks times 2
+// sub-channels per channel.
+const BanksPerChannel = 64
+
+// Counter widths backing the published SRAM numbers.
+const (
+	grapheneCounterBits = 16 // 17 + 16 = 33 bits/entry -> 115.5 KB/channel
+	mithrilCounterBits  = 12 // 17 + 12 = 29 bits/entry -> 86.7 KB/channel
+)
+
+// TrackerStorage describes the SRAM cost of one tracker configuration.
+type TrackerStorage struct {
+	Tracker        string
+	EntriesPerBank int
+	BitsPerEntry   int
+	// ChannelKB is the total SRAM per channel in kilobytes.
+	ChannelKB float64
+}
+
+func channelKB(entries, bitsPerEntry int) float64 {
+	return float64(entries*bitsPerEntry*BanksPerChannel) / 8 / 1024
+}
+
+// GrapheneStorage returns Graphene's cost when tolerating trh with
+// fracBits fractional EACT bits per counter (0 for No-RP/ExPress/
+// ImPress-N, 7 for ImPress-P).
+func GrapheneStorage(trh float64, fracBits int) TrackerStorage {
+	entries := trackers.GrapheneEntries(trh)
+	bits := trackers.RowAddressBits + grapheneCounterBits + fracBits
+	return TrackerStorage{
+		Tracker:        "graphene",
+		EntriesPerBank: entries,
+		BitsPerEntry:   bits,
+		ChannelKB:      channelKB(entries, bits),
+	}
+}
+
+// MithrilStorage returns Mithril's cost when tolerating trh at the given
+// RFM threshold with fracBits fractional counter bits.
+func MithrilStorage(trh float64, rfmth, fracBits int) TrackerStorage {
+	entries := trackers.MithrilEntries(trh, rfmth)
+	bits := trackers.RowAddressBits + mithrilCounterBits + fracBits
+	return TrackerStorage{
+		Tracker:        "mithril",
+		EntriesPerBank: entries,
+		BitsPerEntry:   bits,
+		ChannelKB:      channelKB(entries, bits),
+	}
+}
+
+// MINTStorageBytes returns MINT's per-bank register cost in bytes: SAR
+// (row address), SAN (slot number) and CAN (activation count, which gains
+// the fractional bits under ImPress-P). The paper's Section VI-C: 4 bytes
+// baseline, 5 bytes with ImPress-P.
+func MINTStorageBytes(rfmth, fracBits int) int {
+	slotBits := bitsFor(uint64(rfmth))
+	bits := trackers.RowAddressBits + slotBits + (slotBits + fracBits)
+	return int(math.Ceil(float64(bits) / 8))
+}
+
+// PARAStorageBits returns PARA's per-bank cost: zero (stateless).
+func PARAStorageBits() int { return 0 }
+
+// DesignStorage summarizes a (tracker, defense) storage configuration
+// relative to the No-RP baseline — the Table III storage rows.
+type DesignStorage struct {
+	Design         string
+	Tracker        string
+	Storage        TrackerStorage
+	RelativeToNoRP float64
+}
+
+// StorageComparison computes the Section VI-C storage table for a
+// counter-based tracker: No-RP at designTRH, ExPress and ImPress-N at the
+// reduced T* (alpha = 1 doubles entries), and ImPress-P at full TRH with
+// 7 extra counter bits.
+func StorageComparison(tracker string, designTRH float64, rfmth int, alpha float64) []DesignStorage {
+	calc := func(trh float64, frac int) TrackerStorage {
+		switch tracker {
+		case "graphene":
+			return GrapheneStorage(trh, frac)
+		case "mithril":
+			return MithrilStorage(trh, rfmth, frac)
+		default:
+			panic("security: storage comparison supports graphene and mithril")
+		}
+	}
+	base := calc(designTRH, 0)
+	reduced := designTRH / (1 + alpha)
+	rows := []DesignStorage{
+		{Design: "no-rp", Tracker: tracker, Storage: base, RelativeToNoRP: 1},
+	}
+	for _, d := range []string{"express", "impress-n"} {
+		s := calc(reduced, 0)
+		rows = append(rows, DesignStorage{
+			Design: d, Tracker: tracker, Storage: s,
+			RelativeToNoRP: s.ChannelKB / base.ChannelKB,
+		})
+	}
+	sp := calc(designTRH, clm.FracBits)
+	rows = append(rows, DesignStorage{
+		Design: "impress-p", Tracker: tracker, Storage: sp,
+		RelativeToNoRP: sp.ChannelKB / base.ChannelKB,
+	})
+	return rows
+}
+
+func bitsFor(v uint64) int {
+	bits := 0
+	for v > 0 {
+		bits++
+		v >>= 1
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}

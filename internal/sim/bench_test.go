@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+
+	"impress/internal/core"
+	"impress/internal/trace"
+)
+
+// Simulator throughput benchmarks: core cycles simulated per second for a
+// memory-light and a memory-bound workload. These bound the wall-clock
+// cost of the figure reproductions.
+
+func benchRun(b *testing.B, workload string, design core.Design, tracker TrackerKind) {
+	b.Helper()
+	w, err := trace.WorkloadByName(workload)
+	if err != nil {
+		b.Fatal(err)
+	}
+	totalCycles := int64(0)
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(w, design, tracker)
+		cfg.WarmupInstructions = 5_000
+		cfg.RunInstructions = 25_000
+		res := Run(cfg)
+		totalCycles += res.Cycles
+	}
+	b.ReportMetric(float64(totalCycles)/float64(b.N), "cycles/run")
+}
+
+func BenchmarkSimGCCNoRP(b *testing.B) {
+	benchRun(b, "gcc", core.NewDesign(core.NoRP), TrackerNone)
+}
+
+func BenchmarkSimCopyNoRP(b *testing.B) {
+	benchRun(b, "copy", core.NewDesign(core.NoRP), TrackerNone)
+}
+
+func BenchmarkSimCopyImpressPGraphene(b *testing.B) {
+	benchRun(b, "copy", core.NewDesign(core.ImpressP), TrackerGraphene)
+}
+
+func BenchmarkSimCopyImpressNGraphene(b *testing.B) {
+	benchRun(b, "copy", core.NewDesign(core.ImpressN), TrackerGraphene)
+}
+
+func BenchmarkSimCopyMINT(b *testing.B) {
+	w, _ := trace.WorkloadByName("copy")
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig(w, core.NewDesign(core.ImpressP), TrackerMINT)
+		cfg.DesignTRH = 1600
+		cfg.WarmupInstructions = 5_000
+		cfg.RunInstructions = 25_000
+		Run(cfg)
+	}
+}

@@ -1,0 +1,357 @@
+// Package sim wires the performance-simulation substrates together: 8
+// trace-driven cores (internal/cpu), a shared SRRIP LLC with MSHR merging
+// (internal/cache), and the DDR5 memory controller + DRAM model
+// (internal/memctrl, internal/dram) with a Row-Press defense and Rowhammer
+// tracker installed. It reproduces the paper's Section III methodology:
+// 8-core rate mode, warmup then measured run, performance reported as
+// normalized weighted speedup.
+package sim
+
+import (
+	"fmt"
+
+	"impress/internal/cache"
+	"impress/internal/core"
+	"impress/internal/cpu"
+	"impress/internal/dram"
+	"impress/internal/memctrl"
+	"impress/internal/stats"
+	"impress/internal/trace"
+	"impress/internal/trackers"
+)
+
+// TrackerKind names a tracker configuration.
+type TrackerKind string
+
+// The tracker configurations of the paper's evaluation.
+const (
+	TrackerNone     TrackerKind = "none"
+	TrackerGraphene TrackerKind = "graphene"
+	TrackerPARA     TrackerKind = "para"
+	TrackerMithril  TrackerKind = "mithril"
+	TrackerMINT     TrackerKind = "mint"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Workload trace.Workload
+	Cores    int
+	CPU      cpu.Config
+	LLC      cache.Config
+	// LLCLatency is the core-to-LLC round trip for hits, in CPU cycles.
+	LLCLatency int64
+
+	Design    core.Design
+	Tracker   TrackerKind
+	DesignTRH float64
+	RFMTH     int
+
+	WarmupInstructions int64
+	RunInstructions    int64
+	Seed               uint64
+
+	// MaxCycles bounds the run as a safety net (0 = 100x run budget).
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table II system around the given workload and
+// defense, with the reproduction's scaled-down default instruction counts
+// (the paper uses 50 M warmup + 200 M run; relative results are stable at
+// this scale because the generators are stationary — see DESIGN.md §4).
+func DefaultConfig(w trace.Workload, design core.Design, tracker TrackerKind) Config {
+	return Config{
+		Workload:           w,
+		Cores:              8,
+		CPU:                cpu.DefaultConfig(),
+		LLC:                cache.DefaultConfig(),
+		LLCLatency:         44,
+		Design:             design,
+		Tracker:            tracker,
+		DesignTRH:          4000,
+		RFMTH:              80,
+		WarmupInstructions: 200_000,
+		RunInstructions:    1_000_000,
+		Seed:               1,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workload string
+	IPC      []float64
+	// WeightedIPCSum is the sum of per-core IPCs (rate mode with identical
+	// copies, so normalized weighted speedup against a baseline run is
+	// the ratio of these sums).
+	WeightedIPCSum float64
+	Mem            memctrl.Stats
+	LLCHitRate     float64
+	Cycles         int64
+}
+
+// Perf returns the run's aggregate performance metric.
+func (r Result) Perf() float64 { return r.WeightedIPCSum }
+
+// NormalizeTo returns this run's performance normalized to a baseline run
+// of the same workload.
+func (r Result) NormalizeTo(baseline Result) float64 {
+	return stats.NormalizedWeightedSpeedup(r.IPC, baseline.IPC)
+}
+
+// Run executes the simulation.
+func Run(cfg Config) Result {
+	if cfg.Cores <= 0 {
+		panic("sim: need at least one core")
+	}
+	s := newSimulator(cfg)
+	return s.run()
+}
+
+// simulator holds the wired system.
+type simulator struct {
+	cfg Config
+	mc  *memctrl.Controller
+	llc *cache.Cache
+
+	cores []*cpu.Core
+
+	// mshrs merges outstanding line fetches.
+	mshrs map[uint64]*mshr
+
+	// hitQ is a FIFO of LLC-hit completions (fixed latency preserves
+	// order).
+	hitQ []hitEntry
+
+	// pendingWB holds writebacks awaiting write-queue space (pre-mapped,
+	// drained FIFO).
+	pendingWB []*memctrl.Request
+
+	now    dram.Tick
+	tick   int64
+	rotate int
+}
+
+type mshr struct {
+	line    uint64
+	dirty   bool
+	waiters []*cpu.MemOp
+}
+
+type hitEntry struct {
+	ready dram.Tick
+	op    *cpu.MemOp
+}
+
+func newSimulator(cfg Config) *simulator {
+	s := &simulator{
+		cfg:   cfg,
+		llc:   cache.New(cfg.LLC),
+		mshrs: make(map[uint64]*mshr),
+	}
+	rng := stats.NewRand(cfg.Seed)
+	factory := trackerFactory(cfg, rng)
+	s.mc = memctrl.New(memctrl.DefaultConfig(cfg.Design, factory, cfg.RFMTH))
+	for i := 0; i < cfg.Cores; i++ {
+		gen := cfg.Workload.NewGenerator(i, cfg.Seed)
+		s.cores = append(s.cores, cpu.New(i, cfg.CPU, gen, s))
+	}
+	return s
+}
+
+// trackerFactory builds per-bank trackers tuned to the design's T*.
+func trackerFactory(cfg Config, rng *stats.Rand) memctrl.TrackerFactory {
+	if cfg.Tracker == TrackerNone {
+		return nil
+	}
+	trh := cfg.Design.TrackerTRH(cfg.DesignTRH)
+	switch cfg.Tracker {
+	case TrackerGraphene:
+		return func(int) trackers.Tracker { return trackers.NewGraphene(trh) }
+	case TrackerPARA:
+		return func(int) trackers.Tracker { return trackers.NewPARA(trh, rng.Split()) }
+	case TrackerMithril:
+		return func(int) trackers.Tracker { return trackers.NewMithril(trh, cfg.RFMTH) }
+	case TrackerMINT:
+		return func(int) trackers.Tracker { return trackers.NewMINT(cfg.RFMTH, rng.Split()) }
+	default:
+		panic(fmt.Sprintf("sim: unknown tracker %q", cfg.Tracker))
+	}
+}
+
+// CanAccept implements cpu.MemorySystem.
+func (s *simulator) CanAccept(addr uint64, write bool) bool {
+	line := addr / trace.LineSize
+	if s.llc.Contains(addr) {
+		return true
+	}
+	if _, ok := s.mshrs[line]; ok {
+		return true // merge
+	}
+	loc := s.mc.Map(lineAddr(line))
+	return s.mc.CanPush(loc, false) // misses fetch the line (write-allocate)
+}
+
+// Access implements cpu.MemorySystem.
+func (s *simulator) Access(op *cpu.MemOp) {
+	if s.llc.Access(op.Addr, op.Write) {
+		if op.Write {
+			return // stores are posted; already Done
+		}
+		s.hitQ = append(s.hitQ, hitEntry{
+			ready: s.now + dram.Tick(s.cfg.LLCLatency*dram.TicksPerCPUCycle),
+			op:    op,
+		})
+		return
+	}
+	line := op.Addr / trace.LineSize
+	if m, ok := s.mshrs[line]; ok {
+		m.dirty = m.dirty || op.Write
+		if !op.Write {
+			m.waiters = append(m.waiters, op)
+		}
+		return
+	}
+	m := &mshr{line: line, dirty: op.Write}
+	if !op.Write {
+		m.waiters = append(m.waiters, op)
+	}
+	s.mshrs[line] = m
+	addr := lineAddr(line)
+	req := &memctrl.Request{
+		Addr: addr,
+		Loc:  s.mc.Map(addr),
+		OnComplete: func(dram.Tick) {
+			s.fill(m)
+		},
+	}
+	s.mc.Push(s.now, req)
+}
+
+func lineAddr(line uint64) uint64 { return line * trace.LineSize }
+
+func (s *simulator) fill(m *mshr) {
+	delete(s.mshrs, m.line)
+	victim, evicted := s.llc.Fill(lineAddr(m.line), m.dirty)
+	if evicted && victim.Dirty {
+		s.pendingWB = append(s.pendingWB, &memctrl.Request{
+			Addr: victim.Addr, Write: true, Loc: s.mc.Map(victim.Addr),
+		})
+	}
+	for _, op := range m.waiters {
+		op.Complete()
+	}
+}
+
+func (s *simulator) drainWritebacks() {
+	n := 0
+	for n < len(s.pendingWB) {
+		req := s.pendingWB[n]
+		if !s.mc.CanPush(req.Loc, true) {
+			break // FIFO: head-of-line blocking keeps order and work bounded
+		}
+		s.mc.Push(s.now, req)
+		n++
+	}
+	if n > 0 {
+		s.pendingWB = s.pendingWB[n:]
+	}
+}
+
+func (s *simulator) cpuStep(t dram.Tick) {
+	s.now = t
+	// Complete LLC hits that are ready (FIFO order by construction).
+	n := 0
+	for n < len(s.hitQ) && s.hitQ[n].ready <= t {
+		s.hitQ[n].op.Complete()
+		n++
+	}
+	if n > 0 {
+		s.hitQ = s.hitQ[n:]
+	}
+	// Rotate the stepping order so no core gets systematic first claim on
+	// queue space (rate-mode fairness).
+	start := s.rotate
+	s.rotate++
+	for i := range s.cores {
+		s.cores[(start+i)%len(s.cores)].Step()
+	}
+}
+
+func (s *simulator) dramStep(t dram.Tick) {
+	s.now = t
+	s.drainWritebacks()
+	s.mc.Tick(t)
+}
+
+// step advances one 6-tick macro cycle: 3 CPU cycles (4 GHz) and 2 DRAM
+// cycles (2.66 GHz).
+func (s *simulator) step() {
+	base := dram.Tick(s.tick)
+	s.cpuStep(base)
+	s.dramStep(base)
+	s.cpuStep(base + 2)
+	s.dramStep(base + 3)
+	s.cpuStep(base + 4)
+	s.tick += 6
+}
+
+func (s *simulator) runUntilRetired(target int64) {
+	for {
+		done := true
+		for _, c := range s.cores {
+			if c.Retired() < target {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		s.step()
+	}
+}
+
+func (s *simulator) run() Result {
+	// Warmup.
+	if s.cfg.WarmupInstructions > 0 {
+		s.runUntilRetired(s.cfg.WarmupInstructions)
+	}
+	memBase := s.mc.Stats()
+	for _, c := range s.cores {
+		c.ResetStats()
+		c.SetBudget(s.cfg.RunInstructions)
+	}
+	maxCycles := s.cfg.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 100 * s.cfg.RunInstructions
+	}
+	startCycle := s.cores[0].Cycles()
+	for {
+		done := true
+		for _, c := range s.cores {
+			if !c.Finished() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		if s.cores[0].Cycles()-startCycle > maxCycles {
+			panic(fmt.Sprintf("sim: %s exceeded cycle bound (deadlock?)", s.cfg.Workload.Name))
+		}
+		s.step()
+	}
+
+	res := Result{
+		Workload: s.cfg.Workload.Name,
+		Cycles:   s.cores[0].Cycles() - startCycle,
+	}
+	for _, c := range s.cores {
+		ipc := c.IPC()
+		res.IPC = append(res.IPC, ipc)
+		res.WeightedIPCSum += ipc
+	}
+	res.Mem = s.mc.Stats().Sub(memBase)
+	res.LLCHitRate = s.llc.HitRate()
+	return res
+}

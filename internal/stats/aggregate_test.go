@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestGeoMeanBasics(t *testing.T) {
+	if got := GeoMean([]float64{4, 9}); !almostEqual(got, 6, 1e-12) {
+		t.Fatalf("GeoMean(4,9) = %v, want 6", got)
+	}
+	if got := GeoMean([]float64{5}); !almostEqual(got, 5, 1e-12) {
+		t.Fatalf("GeoMean(5) = %v, want 5", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Fatal("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+// Property: the geometric mean lies between min and max, and scaling all
+// inputs by c scales the mean by c.
+func TestGeoMeanProperties(t *testing.T) {
+	r := NewRand(1)
+	f := func(n uint8) bool {
+		k := int(n%10) + 1
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = 0.1 + 10*r.Float64()
+		}
+		g := GeoMean(xs)
+		if g < Min(xs)-1e-9 || g > Max(xs)+1e-9 {
+			return false
+		}
+		const c = 3.5
+		scaled := make([]float64, k)
+		for i := range xs {
+			scaled[i] = c * xs[i]
+		}
+		return almostEqual(GeoMean(scaled), c*g, 1e-9*c*g+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Mean(xs); !almostEqual(got, 2.75, 1e-12) {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 7 {
+		t.Fatalf("Max = %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty-slice aggregates should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Must not modify input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if !almostEqual(ws, 1.5, 1e-12) {
+		t.Fatalf("WeightedSpeedup = %v, want 1.5", ws)
+	}
+}
+
+func TestNormalizedWeightedSpeedupIdentity(t *testing.T) {
+	ipc := []float64{1.1, 0.4, 2.2, 0.9}
+	if got := NormalizedWeightedSpeedup(ipc, ipc); !almostEqual(got, 1, 1e-12) {
+		t.Fatalf("self-normalized speedup = %v, want 1", got)
+	}
+}
+
+func TestNormalizedWeightedSpeedupHalf(t *testing.T) {
+	base := []float64{2, 2}
+	cfg := []float64{1, 1}
+	if got := NormalizedWeightedSpeedup(cfg, base); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("got %v, want 0.5", got)
+	}
+}
+
+func TestCounterSet(t *testing.T) {
+	var c CounterSet
+	c.Inc("acts")
+	c.Add("acts", 4)
+	c.Add("hits", 2)
+	if c.Get("acts") != 5 || c.Get("hits") != 2 || c.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: %s", c.String())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "acts" || names[1] != "hits" {
+		t.Fatalf("Names = %v", names)
+	}
+	var d CounterSet
+	d.Add("acts", 10)
+	c.Merge(&d)
+	if c.Get("acts") != 15 {
+		t.Fatalf("merge failed: %d", c.Get("acts"))
+	}
+	c.Reset()
+	if c.Get("acts") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 4) // buckets [0,10) [10,20) [20,30) [30,40), overflow >= 40
+	for _, s := range []uint64{0, 5, 9, 10, 25, 39, 40, 1000} {
+		h.Observe(s)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Bucket(0) != 3 || h.Bucket(1) != 1 || h.Bucket(2) != 1 || h.Bucket(3) != 1 {
+		t.Fatalf("buckets wrong: %d %d %d %d", h.Bucket(0), h.Bucket(1), h.Bucket(2), h.Bucket(3))
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("Overflow = %d", h.Overflow())
+	}
+	if h.MaxSample() != 1000 {
+		t.Fatalf("MaxSample = %d", h.MaxSample())
+	}
+	wantMean := float64(0+5+9+10+25+39+40+1000) / 8
+	if !almostEqual(h.MeanSample(), wantMean, 1e-9) {
+		t.Fatalf("MeanSample = %v, want %v", h.MeanSample(), wantMean)
+	}
+}
+
+// Property: histogram count equals observations and bucket sum + overflow
+// equals count.
+func TestHistogramConservation(t *testing.T) {
+	r := NewRand(3)
+	f := func(n uint8) bool {
+		h := NewHistogram(7, 13)
+		total := int(n)
+		for i := 0; i < total; i++ {
+			h.Observe(r.Uint64n(200))
+		}
+		var sum uint64
+		for i := 0; i < h.NumBuckets(); i++ {
+			sum += h.Bucket(i)
+		}
+		return h.Count() == uint64(total) && sum+h.Overflow() == h.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

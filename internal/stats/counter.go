@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSet is a named bag of monotonically increasing event counters used
+// throughout the simulator (activations, row hits, mitigations, ...). The
+// zero value is ready to use.
+type CounterSet struct {
+	counts map[string]uint64
+}
+
+// Add increments counter name by delta.
+func (c *CounterSet) Add(name string, delta uint64) {
+	if c.counts == nil {
+		c.counts = make(map[string]uint64)
+	}
+	c.counts[name] += delta
+}
+
+// Inc increments counter name by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of counter name (zero if never touched).
+func (c *CounterSet) Get(name string) uint64 {
+	return c.counts[name]
+}
+
+// Names returns the sorted list of counters that have been touched.
+func (c *CounterSet) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge adds every counter from other into c.
+func (c *CounterSet) Merge(other *CounterSet) {
+	for n, v := range other.counts {
+		c.Add(n, v)
+	}
+}
+
+// Reset clears all counters.
+func (c *CounterSet) Reset() { c.counts = nil }
+
+// String renders the counters as "name=value" pairs in sorted order.
+func (c *CounterSet) String() string {
+	var b strings.Builder
+	for i, n := range c.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", n, c.counts[n])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-bucket histogram over non-negative integer samples,
+// used for row-open-time and queueing-delay distributions.
+type Histogram struct {
+	// BucketWidth is the width of each bucket in sample units.
+	BucketWidth uint64
+	buckets     []uint64
+	overflow    uint64
+	count       uint64
+	sum         uint64
+	max         uint64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width;
+// samples >= n*width land in a single overflow bucket.
+func NewHistogram(bucketWidth uint64, n int) *Histogram {
+	if bucketWidth == 0 || n <= 0 {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{BucketWidth: bucketWidth, buckets: make([]uint64, n)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(sample uint64) {
+	h.count++
+	h.sum += sample
+	if sample > h.max {
+		h.max = sample
+	}
+	idx := sample / h.BucketWidth
+	if idx >= uint64(len(h.buckets)) {
+		h.overflow++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// MaxSample returns the largest sample observed (zero if none).
+func (h *Histogram) MaxSample() uint64 { return h.max }
+
+// MeanSample returns the arithmetic mean of samples (zero if none).
+func (h *Histogram) MeanSample() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) uint64 { return h.buckets[i] }
+
+// Overflow returns the number of samples beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// NumBuckets returns the number of regular buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }

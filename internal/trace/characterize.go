@@ -1,0 +1,76 @@
+package trace
+
+import "fmt"
+
+// Characterization summarizes the memory behaviour of a generated request
+// stream: the calibration targets of DESIGN.md §1 made measurable. The
+// experiment harness uses it in tests to verify that the synthetic
+// workloads actually exhibit the intensity and locality their profiles
+// promise, and cmd/impress-trace exposes it for inspection.
+type Characterization struct {
+	Workload string
+	Requests int
+
+	// AccessesPerKI is the measured memory intensity (accesses per 1000
+	// instructions).
+	AccessesPerKI float64
+	// WriteFraction is the measured store share.
+	WriteFraction float64
+	// SeqFraction is the fraction of accesses to the line immediately
+	// following the previous access (streaming indicator).
+	SeqFraction float64
+	// MOPGroupHitFraction is the fraction of accesses that stay within
+	// the previous access's MOP-8 group — the upper bound on row-buffer
+	// hits under the paper's mapping.
+	MOPGroupHitFraction float64
+	// UniqueLines is the number of distinct lines touched.
+	UniqueLines int
+	// FootprintBytes is UniqueLines in bytes.
+	FootprintBytes uint64
+}
+
+// String implements fmt.Stringer.
+func (c Characterization) String() string {
+	return fmt.Sprintf("%s: %.1f acc/KI, %.0f%% writes, %.0f%% sequential, %.0f%% MOP-group, %d MB footprint",
+		c.Workload, c.AccessesPerKI, 100*c.WriteFraction, 100*c.SeqFraction,
+		100*c.MOPGroupHitFraction, c.FootprintBytes>>20)
+}
+
+// Characterize drains n requests from a generator and measures its
+// behaviour.
+func Characterize(g Generator, n int) Characterization {
+	if n <= 0 {
+		panic("trace: need a positive sample size")
+	}
+	c := Characterization{Workload: g.Name(), Requests: n}
+	seen := make(map[uint64]struct{})
+	instructions := 0
+	writes, seq, mop := 0, 0, 0
+	var prevLine uint64
+	havePrev := false
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		instructions += req.Gap + 1
+		if req.Write {
+			writes++
+		}
+		line := req.Addr / LineSize
+		if havePrev {
+			if line == prevLine+1 {
+				seq++
+			}
+			if line/8 == prevLine/8 {
+				mop++
+			}
+		}
+		prevLine, havePrev = line, true
+		seen[line] = struct{}{}
+	}
+	c.AccessesPerKI = float64(n) / float64(instructions) * 1000
+	c.WriteFraction = float64(writes) / float64(n)
+	c.SeqFraction = float64(seq) / float64(n-1)
+	c.MOPGroupHitFraction = float64(mop) / float64(n-1)
+	c.UniqueLines = len(seen)
+	c.FootprintBytes = uint64(len(seen)) * LineSize
+	return c
+}

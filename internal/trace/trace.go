@@ -1,0 +1,171 @@
+// Package trace generates the synthetic workload traces used by the
+// performance evaluation. The paper runs 10 SPEC2017 traces, 4 STREAM
+// kernels and 6 STREAM mixes (8-core rate mode) through ChampSim; those
+// proprietary trace files are not redistributable, so this package
+// synthesizes access streams that preserve the two properties every
+// tMRO/Row-Press experiment depends on (see DESIGN.md §1):
+//
+//   - memory intensity: how many post-L2 memory accesses per instruction
+//     reach the LLC/DRAM;
+//   - spatial (row-buffer) locality: how many consecutive cache lines are
+//     touched in sequence, which under MOP-8 mapping determines row-buffer
+//     hits and therefore tMRO sensitivity.
+//
+// Generators are deterministic given a seed.
+package trace
+
+import (
+	"fmt"
+
+	"impress/internal/stats"
+)
+
+// Request is one memory access in a core's instruction stream, as seen at
+// the LLC boundary (post-L2 miss stream).
+type Request struct {
+	// Addr is the physical byte address (64 B aligned).
+	Addr uint64
+	// Write marks store traffic.
+	Write bool
+	// Gap is the number of non-memory instructions executed before this
+	// access (the access itself counts as one more instruction).
+	Gap int
+}
+
+// LineSize is the cache-line granularity of all generated addresses.
+const LineSize = 64
+
+// Generator produces an endless deterministic request stream.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next returns the next request.
+	Next() Request
+}
+
+// Profile parameterizes a synthetic workload.
+type Profile struct {
+	Name string
+	// MemPerKI is the number of LLC-level memory accesses per 1000
+	// instructions (post-L2 MPKI-style intensity).
+	MemPerKI float64
+	// SeqRun is the mean length (in cache lines) of sequential runs: 1
+	// means fully random lines; 8+ means streaming behaviour where MOP-8
+	// row-buffer hits dominate.
+	SeqRun float64
+	// FootprintLines is the number of distinct cache lines the workload
+	// cycles through; footprints below the LLC capacity produce LLC hits.
+	FootprintLines uint64
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+	// ReuseFrac is the probability an access re-touches a recently used
+	// region (temporal locality absorbed by the LLC).
+	ReuseFrac float64
+	// Streams is the number of concurrent sequential streams (STREAM
+	// kernels walk 2-3 arrays simultaneously).
+	Streams int
+}
+
+// Validate checks profile sanity.
+func (p Profile) Validate() error {
+	switch {
+	case p.MemPerKI <= 0:
+		return fmt.Errorf("trace: %s: non-positive intensity", p.Name)
+	case p.SeqRun < 1:
+		return fmt.Errorf("trace: %s: SeqRun below 1", p.Name)
+	case p.FootprintLines == 0:
+		return fmt.Errorf("trace: %s: zero footprint", p.Name)
+	case p.WriteFrac < 0 || p.WriteFrac > 1:
+		return fmt.Errorf("trace: %s: bad write fraction", p.Name)
+	case p.ReuseFrac < 0 || p.ReuseFrac > 1:
+		return fmt.Errorf("trace: %s: bad reuse fraction", p.Name)
+	case p.Streams < 1:
+		return fmt.Errorf("trace: %s: need at least one stream", p.Name)
+	}
+	return nil
+}
+
+// generator implements Generator for a Profile.
+type generator struct {
+	p   Profile
+	rng *stats.Rand
+
+	// per-stream cursors (line indices within the footprint)
+	cursors []uint64
+	// remaining lines in the current sequential run, per stream
+	runLeft []int
+	// base offset so different cores touch disjoint address ranges
+	base uint64
+	// recently touched lines for reuse traffic
+	recent []uint64
+	// meanGap is the mean instruction gap between accesses.
+	meanGap float64
+}
+
+// New builds a deterministic generator for profile p. base is the start of
+// the workload's address range (cores in rate mode get disjoint ranges);
+// seed drives all randomness.
+func New(p Profile, base uint64, seed uint64) Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := stats.NewRand(seed)
+	g := &generator{
+		p:       p,
+		rng:     rng,
+		cursors: make([]uint64, p.Streams),
+		runLeft: make([]int, p.Streams),
+		base:    base,
+		meanGap: 1000/p.MemPerKI - 1,
+	}
+	if g.meanGap < 0 {
+		g.meanGap = 0
+	}
+	// Spread stream cursors across the footprint.
+	for i := range g.cursors {
+		g.cursors[i] = uint64(i) * (p.FootprintLines / uint64(p.Streams))
+	}
+	return g
+}
+
+// Name implements Generator.
+func (g *generator) Name() string { return g.p.Name }
+
+// Next implements Generator.
+func (g *generator) Next() Request {
+	gap := int(g.rng.Exponential(g.meanGap))
+	write := g.rng.Bernoulli(g.p.WriteFrac)
+
+	// Temporal reuse: re-touch a recently used line (LLC hit fodder).
+	if len(g.recent) > 0 && g.rng.Bernoulli(g.p.ReuseFrac) {
+		line := g.recent[g.rng.Intn(len(g.recent))]
+		return Request{Addr: (g.base + line) * LineSize, Write: write, Gap: gap}
+	}
+
+	s := g.rng.Intn(g.p.Streams)
+	if g.runLeft[s] <= 0 {
+		// Start a new run at a random position; run length is
+		// geometric-ish around SeqRun.
+		g.cursors[s] = g.rng.Uint64n(g.p.FootprintLines)
+		if g.p.SeqRun <= 1 {
+			g.runLeft[s] = 1
+		} else {
+			g.runLeft[s] = 1 + int(g.rng.Exponential(g.p.SeqRun-1))
+		}
+	}
+	line := g.cursors[s] % g.p.FootprintLines
+	g.cursors[s]++
+	g.runLeft[s]--
+
+	g.remember(line)
+	return Request{Addr: (g.base + line) * LineSize, Write: write, Gap: gap}
+}
+
+func (g *generator) remember(line uint64) {
+	const recentCap = 64
+	if len(g.recent) < recentCap {
+		g.recent = append(g.recent, line)
+		return
+	}
+	g.recent[g.rng.Intn(recentCap)] = line
+}

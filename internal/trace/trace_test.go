@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWorkloadsListMatchesPaper(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 20 {
+		t.Fatalf("want 20 workloads (10 SPEC + 4 STREAM + 6 mixes), got %d", len(ws))
+	}
+	spec, stream := 0, 0
+	for _, w := range ws {
+		if w.Stream {
+			stream++
+		} else {
+			spec++
+		}
+	}
+	if spec != 10 || stream != 10 {
+		t.Fatalf("class split %d/%d, want 10/10", spec, stream)
+	}
+	// Figure-order names spot check.
+	if ws[0].Name != "fotonik3d" || ws[10].Name != "copy" || ws[19].Name != "scale_triad" {
+		t.Fatalf("workload order wrong: %s %s %s", ws[0].Name, ws[10].Name, ws[19].Name)
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	w, err := WorkloadByName("mcf")
+	if err != nil || w.Name != "mcf" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	if _, err := WorkloadByName("nope"); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestProfilesValidate(t *testing.T) {
+	for _, p := range append(SPECProfiles(), StreamKernels()...) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	for _, w := range Workloads()[:3] {
+		a := w.NewGenerator(0, 42)
+		b := w.NewGenerator(0, 42)
+		for i := 0; i < 1000; i++ {
+			ra, rb := a.Next(), b.Next()
+			if ra != rb {
+				t.Fatalf("%s: request %d diverged", w.Name, i)
+			}
+		}
+	}
+}
+
+func TestGeneratorCoreIsolation(t *testing.T) {
+	// Rate mode: different cores must touch disjoint address ranges.
+	w, _ := WorkloadByName("copy")
+	g0 := w.NewGenerator(0, 1)
+	g1 := w.NewGenerator(1, 1)
+	max0, min1 := uint64(0), ^uint64(0)
+	for i := 0; i < 5000; i++ {
+		if a := g0.Next().Addr; a > max0 {
+			max0 = a
+		}
+		if a := g1.Next().Addr; a < min1 {
+			min1 = a
+		}
+	}
+	if max0 >= min1 {
+		t.Fatalf("core ranges overlap: core0 max %x, core1 min %x", max0, min1)
+	}
+}
+
+func TestGeneratorAlignment(t *testing.T) {
+	w, _ := WorkloadByName("mcf")
+	g := w.NewGenerator(0, 3)
+	for i := 0; i < 2000; i++ {
+		req := g.Next()
+		if req.Addr%LineSize != 0 {
+			t.Fatalf("unaligned address %x", req.Addr)
+		}
+		if req.Gap < 0 {
+			t.Fatalf("negative gap %d", req.Gap)
+		}
+	}
+}
+
+func TestStreamLocality(t *testing.T) {
+	// STREAM kernels must produce long sequential line runs; mcf must not.
+	seqFrac := func(name string) float64 {
+		w, _ := WorkloadByName(name)
+		g := w.NewGenerator(0, 5)
+		prev := g.Next().Addr
+		seq := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			addr := g.Next().Addr
+			if addr == prev+LineSize {
+				seq++
+			}
+			prev = addr
+		}
+		return float64(seq) / n
+	}
+	if f := seqFrac("copy"); f < 0.5 {
+		t.Fatalf("copy sequential fraction %v, want streaming (>0.5)", f)
+	}
+	if f := seqFrac("mcf"); f > 0.4 {
+		t.Fatalf("mcf sequential fraction %v, want irregular (<0.4)", f)
+	}
+}
+
+func TestIntensityMatchesProfile(t *testing.T) {
+	// Mean instruction gap must track 1000/MemPerKI.
+	for _, p := range []Profile{SPECProfiles()[1], StreamKernels()[0]} { // mcf, copy
+		g := New(p, 0, 9)
+		total := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			total += g.Next().Gap + 1
+		}
+		gotPerKI := float64(n) / float64(total) * 1000
+		if gotPerKI < p.MemPerKI*0.9 || gotPerKI > p.MemPerKI*1.1 {
+			t.Fatalf("%s: measured %.1f accesses/KI, profile says %.1f", p.Name, gotPerKI, p.MemPerKI)
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	p := StreamKernels()[0] // copy: 50% writes
+	g := New(p, 0, 11)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("write fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestFootprintBounded(t *testing.T) {
+	p := SPECProfiles()[2] // gcc: 24 MB footprint
+	base := uint64(1 << 30 / LineSize)
+	g := New(p, base, 13)
+	for i := 0; i < 50000; i++ {
+		addr := g.Next().Addr
+		line := addr / LineSize
+		if line < base || line >= base+p.FootprintLines {
+			t.Fatalf("access %x outside footprint", addr)
+		}
+	}
+}
+
+func TestMixAlternates(t *testing.T) {
+	w, _ := WorkloadByName("add_copy")
+	g := w.NewGenerator(0, 17)
+	// Drain more than one phase; both halves of the range must be touched.
+	const half = 256 * mb * LineSize
+	lowSeen, highSeen := false, false
+	for i := 0; i < 3*mixSwitchEvery; i++ {
+		if g.Next().Addr >= half {
+			highSeen = true
+		} else {
+			lowSeen = true
+		}
+	}
+	if !lowSeen || !highSeen {
+		t.Fatal("mix did not alternate between its two kernels")
+	}
+}
+
+func TestProfileValidationRejectsBroken(t *testing.T) {
+	bad := Profile{Name: "x", MemPerKI: 0, SeqRun: 1, FootprintLines: 1, Streams: 1}
+	if bad.Validate() == nil {
+		t.Fatal("zero intensity must be invalid")
+	}
+	bad2 := Profile{Name: "x", MemPerKI: 1, SeqRun: 0.5, FootprintLines: 1, Streams: 1}
+	if bad2.Validate() == nil {
+		t.Fatal("SeqRun < 1 must be invalid")
+	}
+}
+
+// Property: any valid profile yields in-footprint, line-aligned requests.
+func TestGeneratorInvariants(t *testing.T) {
+	f := func(seed uint64, intensity, seqRun uint8) bool {
+		p := Profile{
+			Name:           "prop",
+			MemPerKI:       1 + float64(intensity%200),
+			SeqRun:         1 + float64(seqRun%64),
+			FootprintLines: 4096,
+			WriteFrac:      0.3,
+			ReuseFrac:      0.2,
+			Streams:        2,
+		}
+		g := New(p, 0, seed)
+		for i := 0; i < 500; i++ {
+			req := g.Next()
+			if req.Addr%LineSize != 0 || req.Addr/LineSize >= p.FootprintLines {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+package trackers
+
+import (
+	"testing"
+
+	"impress/internal/clm"
+	"impress/internal/stats"
+)
+
+func TestTWiCeDetectsHeavyHitter(t *testing.T) {
+	w := NewTWiCe(4000, 8205)
+	internal := int(4000 / TWiCeInternalDivisor)
+	mitigated := false
+	for i := 0; i <= internal; i++ {
+		if rows := w.OnActivation(9, clm.One); len(rows) > 0 {
+			if rows[0] != 9 {
+				t.Fatalf("mitigated wrong row %d", rows[0])
+			}
+			mitigated = true
+			break
+		}
+	}
+	if !mitigated {
+		t.Fatal("heavy hitter not mitigated")
+	}
+}
+
+func TestTWiCePrunesColdRows(t *testing.T) {
+	w := NewTWiCe(4000, 100) // coarse prune step for the test
+	// Touch 1000 cold rows once each.
+	for row := int64(0); row < 1000; row++ {
+		w.OnActivation(row, clm.One)
+	}
+	// One hot row keeps pace with the prune rate.
+	hot := int64(50000)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 12; j++ { // 12 ACTs per interval > pruneStep (10)
+			w.OnActivation(hot, clm.One)
+		}
+		w.OnPruneInterval()
+	}
+	if w.TableSize() > 10 {
+		t.Fatalf("pruning left %d entries; cold rows must be dropped", w.TableSize())
+	}
+	if w.Pruned() < 990 {
+		t.Fatalf("pruned only %d entries", w.Pruned())
+	}
+	// The hot row must have survived.
+	if rows := hotSurvives(w, hot); !rows {
+		t.Fatal("hot row was pruned: security violation")
+	}
+}
+
+func hotSurvives(w *TWiCe, hot int64) bool {
+	// Drive the hot row to threshold; if it was pruned its count restarts
+	// and this takes more ACTs than the threshold remainder would.
+	internal := int(4000 / TWiCeInternalDivisor)
+	for i := 0; i <= internal; i++ {
+		if rows := w.OnActivation(hot, clm.One); len(rows) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Property-style check: a row activated at the worst-case dangerous rate
+// is never pruned, for any interleaving with prune intervals.
+func TestTWiCeNeverPrunesDangerousRow(t *testing.T) {
+	const windows = 64
+	w := NewTWiCe(4000, windows)
+	need := int(w.pruneStep/clm.One) + 1 // ACTs per interval to stay dangerous
+	row := int64(7)
+	for interval := 0; interval < windows; interval++ {
+		mitigated := false
+		for i := 0; i < need; i++ {
+			if rows := w.OnActivation(row, clm.One); len(rows) > 0 {
+				mitigated = true
+			}
+		}
+		w.OnPruneInterval()
+		// After a mitigation the row's damage is cleared, so pruning it is
+		// safe; otherwise a dangerous-rate row must never be pruned.
+		if w.TableSize() == 0 && !mitigated {
+			t.Fatalf("dangerous row pruned at interval %d without mitigation", interval)
+		}
+	}
+}
+
+func TestTWiCeFractionalWeights(t *testing.T) {
+	w := NewTWiCe(8, 100) // threshold 2 ACTs
+	if rows := w.OnActivation(3, clm.One+clm.One/2); rows != nil {
+		t.Fatal("1.5 < 2: premature mitigation")
+	}
+	if rows := w.OnActivation(3, clm.One); len(rows) != 1 {
+		t.Fatal("2.5 >= 2: mitigation expected")
+	}
+}
+
+func TestTWiCeInterface(t *testing.T) {
+	var tr Tracker = NewTWiCe(4000, 8205)
+	if tr.InDRAM() || tr.Name() != "twice" {
+		t.Fatal("interface metadata wrong")
+	}
+	tr.ResetWindow()
+	if tr.OnRFM() != nil {
+		t.Fatal("MC-side tracker must not mitigate at RFM")
+	}
+}
+
+// The negative baseline: vendor TRR's sampler is crowded out by a
+// many-sided pattern — the hammered row routinely escapes sampling between
+// mitigation opportunities, unlike with the secure trackers.
+func TestVendorTRRCrowdedByManySided(t *testing.T) {
+	rng := stats.NewRand(3)
+	trr := NewVendorTRR(2, 0.05, rng) // 2 slots, 5% sampling
+	const aggressors = 20
+	const rounds = 400
+	escaped := 0
+	for r := 0; r < rounds; r++ {
+		// One round: each aggressor activated once, then a mitigation
+		// opportunity (REF-adjacent TRR action).
+		sampledTarget := false
+		for a := int64(0); a < aggressors; a++ {
+			trr.OnActivation(a, clm.One)
+		}
+		for _, row := range trr.OnRFM() {
+			if row == 0 {
+				sampledTarget = true
+			}
+		}
+		if !sampledTarget {
+			escaped++
+		}
+	}
+	// With 20 aggressors, 2 slots and 5% sampling, the target escapes the
+	// sampler most rounds: accumulating TRH activations unmitigated.
+	if frac := float64(escaped) / rounds; frac < 0.5 {
+		t.Fatalf("TRR sampled the target too reliably (%v escape rate); the model should be breakable", frac)
+	}
+}
+
+func TestVendorTRRSamplesSingleAggressor(t *testing.T) {
+	// A lone aggressor with no crowd IS usually caught — TRR's weakness
+	// is specifically table pressure, not total blindness.
+	rng := stats.NewRand(5)
+	trr := NewVendorTRR(2, 0.05, rng)
+	caught := 0
+	const rounds = 200
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 40; i++ { // 40 ACTs per REF interval
+			trr.OnActivation(1, clm.One)
+		}
+		for _, row := range trr.OnRFM() {
+			if row == 1 {
+				caught++
+				break
+			}
+		}
+	}
+	if frac := float64(caught) / rounds; frac < 0.7 {
+		t.Fatalf("lone aggressor caught only %v of rounds", frac)
+	}
+}
