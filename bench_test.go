@@ -11,6 +11,7 @@ import (
 	"io"
 	"testing"
 
+	"impress"
 	"impress/internal/experiments"
 )
 
@@ -157,6 +158,40 @@ func BenchmarkFigure16(b *testing.B) {
 		render(b, experiments.Figure16(experiments.NewRunner(benchScale())))
 	}
 }
+
+// --- Parallel run scheduler ---
+
+// prefetchBenchSpecs is a fixed spec list (a Fig. 13-like sweep over the
+// bench workloads) used to compare serial and parallel prefetching.
+func prefetchBenchSpecs(r *experiments.Runner) []experiments.RunSpec {
+	var specs []experiments.RunSpec
+	for _, w := range r.Workloads() {
+		for _, tracker := range []impress.TrackerKind{impress.TrackerGraphene, impress.TrackerPARA} {
+			for _, kind := range []impress.DesignKind{impress.NoRP, impress.ExPress, impress.ImpressP} {
+				specs = append(specs, experiments.RunSpec{
+					Workload: w, Design: impress.NewDesign(kind), Tracker: tracker,
+					DesignTRH: experiments.TRH(4000), RFMTH: experiments.RFM(80),
+				})
+			}
+		}
+	}
+	return specs
+}
+
+func benchmarkPrefetch(b *testing.B, parallelism int) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.NewRunner(benchScale())
+		r.Parallelism = parallelism
+		r.Prefetch(prefetchBenchSpecs(r))
+	}
+}
+
+// BenchmarkPrefetchSerial is the single-worker baseline for the scheduler.
+func BenchmarkPrefetchSerial(b *testing.B) { benchmarkPrefetch(b, 1) }
+
+// BenchmarkPrefetchParallel fans the same spec list over GOMAXPROCS
+// workers; the serial/parallel ratio is the scheduler's speedup.
+func BenchmarkPrefetchParallel(b *testing.B) { benchmarkPrefetch(b, 0) }
 
 // --- Extension experiments ---
 

@@ -2,13 +2,16 @@
 //
 // Usage:
 //
-//	impress-experiments [-scale quick|full] [-only fig3,fig13,...] [-out DIR]
+//	impress-experiments [-scale quick|standard|full] [-parallel N]
+//	                    [-only fig3,fig13,...] [-out DIR]
 //
 // With -out, each experiment is additionally written to DIR/<id>.txt.
 // The analytical experiments (charge-loss model, security harness,
 // storage, attack equations) take seconds; the simulation-backed figures
-// (fig3, fig5, fig13, fig14, energy, fig15, fig16) take minutes at -scale
-// full.
+// (fig3, fig5, fig13, fig14, energy, fig15, fig16) are fanned out over
+// -parallel worker goroutines (default: all CPUs) and take minutes at
+// -scale full. Output is deterministic and byte-identical at every
+// parallelism level.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -27,6 +32,8 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	outDir := flag.String("out", "", "directory to write per-experiment text files")
 	analytical := flag.Bool("analytical", false, "run only the analytical (no-simulation) experiments")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"max concurrent simulations (1 = serial; output is identical either way)")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -41,11 +48,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick, standard, or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "-parallel must be at least 1 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
+
+	runner := experiments.NewRunner(scale)
+	runner.Parallelism = *parallel
+	all := experimentList(runner)
+	specs := all
+	if *analytical {
+		specs = filterAnalytical(all)
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
+		active := map[string]bool{}
+		for _, s := range specs {
+			active[s.id] = true
+		}
+		known := map[string]bool{}
+		for _, s := range all {
+			known[s.id] = true
+		}
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue // tolerate stray commas: -only fig3,
+			}
+			switch {
+			case active[id]:
+				want[id] = true
+			case known[id]:
+				fmt.Fprintf(os.Stderr, "experiment %q is simulation-backed; drop -analytical to run it\n", id)
+				os.Exit(2)
+			default:
+				fmt.Fprintf(os.Stderr, "unknown experiment ID %q (known: %s)\n",
+					id, strings.Join(knownIDs(all), ", "))
+				os.Exit(2)
+			}
+		}
+		if len(want) == 0 {
+			fmt.Fprintf(os.Stderr, "-only %q names no experiments\n", *only)
+			os.Exit(2)
 		}
 	}
 
@@ -58,19 +103,11 @@ func main() {
 			}
 		}
 	}
-	if *analytical {
-		for _, t := range experiments.Analytical() {
-			if len(want) > 0 && !want[t.ID] {
-				continue
-			}
-			emit(t)
-		}
-		return
-	}
-	runner := experiments.NewRunner(scale)
 	// Build lazily so -only skips expensive experiments entirely; emit each
 	// table as soon as it is ready so long runs produce partial results.
-	for _, spec := range experimentList(runner) {
+	// Each simulation-backed experiment prefetches its full run set over
+	// the runner's worker pool before assembling its table.
+	for _, spec := range specs {
 		if len(want) > 0 && !want[spec.id] {
 			continue
 		}
@@ -82,36 +119,64 @@ func main() {
 }
 
 type spec struct {
-	id    string
-	build func() *experiments.Table
+	id         string
+	analytical bool
+	build      func() *experiments.Table
 }
 
 func experimentList(r *experiments.Runner) []spec {
-	return []spec{
-		{"table1", experiments.TableI},
-		{"table2", experiments.TableII},
-		{"fig3", func() *experiments.Table { return experiments.Figure3(r) }},
-		{"fig4", experiments.Figure4},
-		{"fig5", func() *experiments.Table { return experiments.Figure5(r) }},
-		{"fig6", experiments.Figure6},
-		{"fig7", experiments.Figure7},
-		{"fig8", experiments.Figure8},
-		{"eq5", experiments.ImpressNWorstCase},
-		{"fig12", experiments.Figure12},
-		{"fig13", func() *experiments.Table { return experiments.Figure13(r) }},
-		{"table3", experiments.TableIII},
-		{"fig14", func() *experiments.Table { return experiments.Figure14(r) }},
-		{"energy", func() *experiments.Table { return experiments.EnergyTable(r) }},
-		{"fig15", func() *experiments.Table { return experiments.Figure15(r) }},
-		{"fig16", func() *experiments.Table { return experiments.Figure16(r) }},
-		{"fig18", experiments.Figure18},
-		{"fig19", experiments.Figure19},
-		{"storage", experiments.StorageTable},
-		{"security", experiments.SecuritySummary},
-		{"prac", experiments.PRACTable},
-		{"dsac", experiments.RelatedWorkDSAC},
-		{"ablation-rfm", experiments.AblationRFMPacing},
+	a := func(id string, build func() *experiments.Table) spec {
+		return spec{id: id, analytical: true, build: build}
 	}
+	s := func(id string, build func() *experiments.Table) spec {
+		return spec{id: id, build: build}
+	}
+	return []spec{
+		a("table1", experiments.TableI),
+		a("table2", experiments.TableII),
+		s("fig3", func() *experiments.Table { return experiments.Figure3(r) }),
+		a("fig4", experiments.Figure4),
+		s("fig5", func() *experiments.Table { return experiments.Figure5(r) }),
+		a("fig6", experiments.Figure6),
+		a("fig7", experiments.Figure7),
+		a("fig8", experiments.Figure8),
+		a("eq5", experiments.ImpressNWorstCase),
+		a("fig12", experiments.Figure12),
+		s("fig13", func() *experiments.Table { return experiments.Figure13(r) }),
+		a("table3", experiments.TableIII),
+		s("fig14", func() *experiments.Table { return experiments.Figure14(r) }),
+		s("energy", func() *experiments.Table { return experiments.EnergyTable(r) }),
+		s("fig15", func() *experiments.Table { return experiments.Figure15(r) }),
+		s("fig16", func() *experiments.Table { return experiments.Figure16(r) }),
+		a("fig18", experiments.Figure18),
+		a("fig19", experiments.Figure19),
+		a("storage", experiments.StorageTable),
+		a("security", experiments.SecuritySummary),
+		a("prac", experiments.PRACTable),
+		a("dsac", experiments.RelatedWorkDSAC),
+		a("ablation-rfm", func() *experiments.Table {
+			return experiments.AblationRFMPacingParallel(r.Parallelism)
+		}),
+	}
+}
+
+func filterAnalytical(specs []spec) []spec {
+	var out []spec
+	for _, s := range specs {
+		if s.analytical {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func knownIDs(specs []spec) []string {
+	ids := make([]string, len(specs))
+	for i, s := range specs {
+		ids[i] = s.id
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 func writeTable(dir string, t *experiments.Table) error {

@@ -1,0 +1,3 @@
+module impress
+
+go 1.24

@@ -13,7 +13,8 @@
 //   - the full-system performance simulator (SimConfig, RunSim) with the
 //     paper's 20 synthetic workloads;
 //   - the experiment harness that regenerates every table and figure
-//     (Experiments, QuickScale, FullScale).
+//     (Experiments, QuickScale, FullScale), backed by a concurrent
+//     memoizing run scheduler (ExperimentRunner, ExperimentsParallel).
 //
 // Quick start:
 //
@@ -250,6 +251,28 @@ type ExperimentTable = experiments.Table
 // ExperimentScale controls simulation length.
 type ExperimentScale = experiments.Scale
 
+// ExperimentRunner executes and memoizes simulation runs. It is safe for
+// concurrent use; set Parallelism to bound the Prefetch worker pool
+// (0 = GOMAXPROCS). Parallel execution is byte-identical to serial.
+type ExperimentRunner = experiments.Runner
+
+// ExperimentRunSpec fully describes one simulation run for memoization
+// and prefetching.
+type ExperimentRunSpec = experiments.RunSpec
+
+// ExperimentTRH returns an explicit DesignTRH override for a run spec
+// (the zero value of the field means "keep the sim default").
+func ExperimentTRH(v float64) experiments.Opt[float64] { return experiments.TRH(v) }
+
+// ExperimentRFM returns an explicit RFMTH override for a run spec.
+func ExperimentRFM(v int) experiments.Opt[int] { return experiments.RFM(v) }
+
+// NewExperimentRunner builds a concurrent-safe memoizing runner at the
+// given scale.
+func NewExperimentRunner(scale ExperimentScale) *ExperimentRunner {
+	return experiments.NewRunner(scale)
+}
+
 // QuickScale is the CI-sized experiment scale.
 func QuickScale() ExperimentScale { return experiments.QuickScale() }
 
@@ -259,9 +282,20 @@ func StandardScale() ExperimentScale { return experiments.StandardScale() }
 // FullScale is the complete-reproduction scale.
 func FullScale() ExperimentScale { return experiments.FullScale() }
 
-// Experiments regenerates every table and figure at the given scale.
+// Experiments regenerates every table and figure at the given scale,
+// running independent simulations concurrently (GOMAXPROCS workers).
 func Experiments(scale ExperimentScale) []*ExperimentTable {
 	return experiments.All(experiments.NewRunner(scale))
+}
+
+// ExperimentsParallel regenerates every table and figure at the given
+// scale with an explicit simulation worker count (1 = fully serial,
+// 0 = GOMAXPROCS, negative clamps to serial). Output is byte-identical
+// at every parallelism level.
+func ExperimentsParallel(scale ExperimentScale, parallelism int) []*ExperimentTable {
+	r := experiments.NewRunner(scale)
+	r.Parallelism = parallelism
+	return experiments.All(r)
 }
 
 // AnalyticalExperiments regenerates the simulation-free subset.

@@ -144,6 +144,28 @@ func TestPublicPRAC(t *testing.T) {
 	p.OnRFM()
 }
 
+func TestPublicExperimentRunner(t *testing.T) {
+	scale := impress.ExperimentScale{
+		Name: "api-test", Warmup: 5_000, Run: 20_000, Workloads: []string{"gcc"},
+	}
+	r := impress.NewExperimentRunner(scale)
+	r.Parallelism = 2
+	w, err := impress.WorkloadByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := impress.ExperimentRunSpec{
+		Workload: w, Design: impress.NewDesign(impress.ImpressP),
+		Tracker:   impress.TrackerGraphene,
+		DesignTRH: impress.ExperimentTRH(4000), RFMTH: impress.ExperimentRFM(80),
+	}
+	r.Prefetch([]impress.ExperimentRunSpec{spec})
+	res := r.Run(spec)
+	if len(res.IPC) != 8 || res.WeightedIPCSum <= 0 {
+		t.Fatalf("bad runner result: %+v", res)
+	}
+}
+
 func TestPublicScales(t *testing.T) {
 	q, s, f := impress.QuickScale(), impress.StandardScale(), impress.FullScale()
 	if !(q.Run < s.Run && s.Run < f.Run) {

@@ -8,7 +8,9 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
+	"sync"
 
 	"impress/internal/core"
 	"impress/internal/sim"
@@ -94,14 +96,50 @@ func FullScale() Scale {
 
 // Runner executes and memoizes simulation runs so experiments sharing a
 // configuration (e.g. the No-RP baseline) pay for it once.
+//
+// Runner is safe for concurrent use: Run deduplicates concurrent requests
+// for the same spec (singleflight), so a spec simulates exactly once no
+// matter how many goroutines ask for it, and Prefetch fans a spec list out
+// over a worker pool. Results are independent of execution order — every
+// simulation is seeded from its own Config (see sim.Run) — so a parallel
+// prefetch followed by serial table assembly is byte-identical to the
+// fully serial path.
 type Runner struct {
 	Scale Scale
-	cache map[string]sim.Result
+	// Parallelism bounds how many simulations Prefetch runs concurrently.
+	// Zero (the default) means runtime.GOMAXPROCS(0); 1 forces the serial
+	// path; negative values are clamped to 1. It does not limit direct Run
+	// callers — they run on the calling goroutine (or wait on an in-flight
+	// duplicate).
+	Parallelism int
+
+	mu    sync.Mutex
+	cache map[string]*runEntry
+}
+
+// runEntry is one memoized (possibly in-flight) simulation. done is closed
+// when res (or panicked) is valid.
+type runEntry struct {
+	done     chan struct{}
+	res      sim.Result
+	panicked any
 }
 
 // NewRunner builds a Runner at the given scale.
 func NewRunner(scale Scale) *Runner {
-	return &Runner{Scale: scale, cache: make(map[string]sim.Result)}
+	return &Runner{Scale: scale, cache: make(map[string]*runEntry)}
+}
+
+// parallelism resolves the effective worker count: 0 means GOMAXPROCS,
+// negative clamps to serial.
+func (r *Runner) parallelism() int {
+	if r.Parallelism < 0 {
+		return 1
+	}
+	if r.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Parallelism
 }
 
 // Workloads returns the workload list for this runner's scale.
@@ -123,51 +161,170 @@ func (r *Runner) Workloads() []trace.Workload {
 	return out
 }
 
-// RunSpec fully describes one simulation run for memoization.
+// Opt is an optional override of a simulation parameter. The zero value
+// means "keep sim.DefaultConfig's value"; an explicitly set value —
+// including an explicit zero — is carried distinctly, so overrides never
+// alias the default in the memo key.
+type Opt[T any] struct {
+	Set   bool
+	Value T
+}
+
+// TRH returns an explicit DesignTRH override.
+func TRH(v float64) Opt[float64] { return Opt[float64]{Set: true, Value: v} }
+
+// RFM returns an explicit RFMTH override.
+func RFM(v int) Opt[int] { return Opt[int]{Set: true, Value: v} }
+
+// optKey renders an override for the memo key, keeping "unset" distinct
+// from every explicit value.
+func optKey[T any](o Opt[T]) string {
+	if !o.Set {
+		return "default"
+	}
+	return fmt.Sprint(o.Value)
+}
+
+// RunSpec fully describes one simulation run for memoization. DesignTRH
+// and RFMTH override sim.DefaultConfig only when explicitly set (via TRH
+// and RFM); the zero value keeps the default.
 type RunSpec struct {
 	Workload  trace.Workload
 	Design    core.Design
 	Tracker   sim.TrackerKind
-	DesignTRH float64
-	RFMTH     int
+	DesignTRH Opt[float64]
+	RFMTH     Opt[int]
 }
 
 func (s RunSpec) key() string {
-	return fmt.Sprintf("%s|%s|%s|%g|%d", s.Workload.Name, s.Design.Name(), s.Tracker, s.DesignTRH, s.RFMTH)
+	return fmt.Sprintf("%s|%s|%s|%s|%s", s.Workload.Name, s.Design.Name(), s.Tracker,
+		optKey(s.DesignTRH), optKey(s.RFMTH))
 }
 
-// Run executes (or recalls) the described simulation.
+// config materializes the sim configuration for this spec at a scale.
+func (s RunSpec) config(scale Scale) sim.Config {
+	cfg := sim.DefaultConfig(s.Workload, s.Design, s.Tracker)
+	cfg.WarmupInstructions = scale.Warmup
+	cfg.RunInstructions = scale.Run
+	if s.DesignTRH.Set {
+		cfg.DesignTRH = s.DesignTRH.Value
+	}
+	if s.RFMTH.Set {
+		cfg.RFMTH = s.RFMTH.Value
+	}
+	return cfg
+}
+
+// Run executes (or recalls) the described simulation. Concurrent calls
+// with the same spec are deduplicated: one goroutine simulates, the rest
+// wait for its result.
 func (r *Runner) Run(spec RunSpec) sim.Result {
 	k := spec.key()
-	if res, ok := r.cache[k]; ok {
-		return res
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*runEntry)
 	}
-	cfg := sim.DefaultConfig(spec.Workload, spec.Design, spec.Tracker)
-	cfg.WarmupInstructions = r.Scale.Warmup
-	cfg.RunInstructions = r.Scale.Run
-	if spec.DesignTRH != 0 {
-		cfg.DesignTRH = spec.DesignTRH
+	if e, ok := r.cache[k]; ok {
+		r.mu.Unlock()
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.res
 	}
-	if spec.RFMTH != 0 {
-		cfg.RFMTH = spec.RFMTH
+	e := &runEntry{done: make(chan struct{})}
+	r.cache[k] = e
+	r.mu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			e.panicked = p
+			close(e.done)
+			panic(p)
+		}
+		close(e.done)
+	}()
+	e.res = sim.Run(spec.config(r.Scale))
+	return e.res
+}
+
+// Prefetch executes the given specs over a worker pool of r.Parallelism
+// goroutines (GOMAXPROCS by default), deduplicating repeated and
+// already-cached specs. Table assembly that follows then hits the memo
+// cache only, so output is identical to running the specs serially. If any
+// simulation panics, Prefetch re-panics after the pool drains.
+func (r *Runner) Prefetch(specs []RunSpec) {
+	seen := make(map[string]bool, len(specs))
+	var todo []RunSpec
+	for _, s := range specs {
+		if k := s.key(); !seen[k] {
+			seen[k] = true
+			todo = append(todo, s)
+		}
 	}
-	res := sim.Run(cfg)
-	r.cache[k] = res
-	return res
+	workers := r.parallelism()
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, s := range todo {
+			r.Run(s)
+		}
+		return
+	}
+	queue := make(chan RunSpec, len(todo))
+	for _, s := range todo {
+		queue <- s
+	}
+	close(queue)
+	var (
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  any
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicked = p })
+				}
+			}()
+			for s := range queue {
+				r.Run(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// baselineSpec is the unprotected (no tracker, no defense) run.
+func baselineSpec(w trace.Workload) RunSpec {
+	return RunSpec{Workload: w, Design: core.NewDesign(core.NoRP), Tracker: sim.TrackerNone}
+}
+
+// noRPSpec is the Rowhammer-only baseline for a tracker (the paper's
+// "No-RP" normalization target).
+func noRPSpec(w trace.Workload, tracker sim.TrackerKind, trh float64, rfmth int) RunSpec {
+	return RunSpec{
+		Workload: w, Design: core.NewDesign(core.NoRP), Tracker: tracker,
+		DesignTRH: TRH(trh), RFMTH: RFM(rfmth),
+	}
 }
 
 // Baseline returns the unprotected (no tracker, no defense) run.
 func (r *Runner) Baseline(w trace.Workload) sim.Result {
-	return r.Run(RunSpec{Workload: w, Design: core.NewDesign(core.NoRP), Tracker: sim.TrackerNone})
+	return r.Run(baselineSpec(w))
 }
 
 // NoRP returns the Rowhammer-only baseline for a tracker (the paper's
 // "No-RP" normalization target).
 func (r *Runner) NoRP(w trace.Workload, tracker sim.TrackerKind, trh float64, rfmth int) sim.Result {
-	return r.Run(RunSpec{
-		Workload: w, Design: core.NewDesign(core.NoRP), Tracker: tracker,
-		DesignTRH: trh, RFMTH: rfmth,
-	})
+	return r.Run(noRPSpec(w, tracker, trh, rfmth))
 }
 
 // geoMeanBy splits per-workload values into the paper's SPEC and STREAM

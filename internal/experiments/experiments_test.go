@@ -208,9 +208,33 @@ func TestGeoMeanBy(t *testing.T) {
 
 func TestRunSpecKeyDistinguishes(t *testing.T) {
 	w, _ := trace.WorkloadByName("gcc")
-	a := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: 4000}
-	b := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: 2000}
+	a := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: TRH(4000)}
+	b := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: TRH(2000)}
 	if a.key() == b.key() {
 		t.Fatal("different TRH must produce different cache keys")
+	}
+}
+
+func TestRunSpecExplicitZeroDistinctFromDefault(t *testing.T) {
+	w, _ := trace.WorkloadByName("gcc")
+	unset := RunSpec{Workload: w, Tracker: sim.TrackerGraphene}
+	zero := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: TRH(0)}
+	if unset.key() == zero.key() {
+		t.Fatal("an explicit TRH of 0 must not alias the default")
+	}
+	if unset.RFMTH.Set || zero.RFMTH.Set {
+		t.Fatal("zero-value override must read as unset")
+	}
+	// And the materialized configs differ accordingly.
+	scale := tinyScale()
+	if got := unset.config(scale).DesignTRH; got != 4000 {
+		t.Fatalf("unset TRH should keep the sim default 4000, got %v", got)
+	}
+	if got := zero.config(scale).DesignTRH; got != 0 {
+		t.Fatalf("explicit TRH(0) should carry through, got %v", got)
+	}
+	rfm := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, RFMTH: RFM(0)}
+	if got := rfm.config(scale).RFMTH; got != 0 {
+		t.Fatalf("explicit RFM(0) should carry through, got %v", got)
 	}
 }

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"impress/internal/stats"
 
@@ -79,21 +81,33 @@ func RelatedWorkDSAC() *Table {
 
 // AblationRFMPacing shows why RFM must be paced on the weighted EACT
 // stream rather than raw ACT counts (DESIGN.md design-choice ablation).
-func AblationRFMPacing() *Table {
+// Its harness runs execute concurrently up to GOMAXPROCS; use
+// AblationRFMPacingParallel to bound that explicitly.
+func AblationRFMPacing() *Table { return AblationRFMPacingParallel(0) }
+
+// AblationRFMPacingParallel is AblationRFMPacing with an explicit
+// concurrency bound (0 = GOMAXPROCS, 1 = fully serial). Output is
+// identical at every level.
+func AblationRFMPacingParallel(parallelism int) *Table {
 	t := &Table{
 		ID: "ablation-rfm", Title: "Ablation: RFM pacing on EACT vs raw ACT counts (MINT + ImPress-P)",
 		Header: []string{"RFM pacing", "RFMs issued", "peak damage", "verdict"},
 	}
 	tm := dram.DDR5()
 	mintTRH := trackers.MINTToleratedTRH(80)
-	for _, cfg := range []struct {
+	configs := []struct {
 		name string
 		raw  bool
 		seed uint64
 	}{
 		{"weighted EACT (design)", false, 51},
 		{"raw ACT count (ablated)", true, 51},
-	} {
+	}
+	// The harness runs are independent (each owns its seeded RNG chain);
+	// run them over a bounded worker pool and assemble rows in declared
+	// order so output is identical at every parallelism level.
+	buildRow := func(i int) []string {
+		cfg := configs[i]
 		seed := cfg.seed
 		sc := security.Config{
 			Design: core.NewDesign(core.ImpressP), DesignTRH: mintTRH,
@@ -108,10 +122,46 @@ func AblationRFMPacing() *Table {
 		if res.MaxDamage >= mintTRH {
 			verdict = "BROKEN (tracker starved)"
 		}
-		t.Rows = append(t.Rows, []string{
-			cfg.name, fmt.Sprintf("%d", res.RFMs), f1(res.MaxDamage), verdict,
-		})
+		return []string{cfg.name, fmt.Sprintf("%d", res.RFMs), f1(res.MaxDamage), verdict}
 	}
+	// With two configs the bound degenerates to serial (workers <= 1,
+	// including negative = clamped serial) vs concurrent (one goroutine
+	// per config); 0 resolves to GOMAXPROCS like Runner.Parallelism.
+	workers := parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rows := make([][]string, len(configs))
+	if workers <= 1 {
+		for i := range configs {
+			rows[i] = buildRow(i)
+		}
+	} else {
+		// One goroutine per config (there are two); capture the first
+		// panic and resurface it after the pool drains.
+		var (
+			wg        sync.WaitGroup
+			panicOnce sync.Once
+			panicked  any
+		)
+		for i := range configs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						panicOnce.Do(func() { panicked = p })
+					}
+				}()
+				rows[i] = buildRow(i)
+			}()
+		}
+		wg.Wait()
+		if panicked != nil {
+			panic(panicked)
+		}
+	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"pacing RFM on raw ACTs lets a pressing attacker starve in-DRAM trackers of mitigation windows")
 	return t

@@ -8,6 +8,7 @@ import (
 	"impress/internal/energy"
 	"impress/internal/sim"
 	"impress/internal/stats"
+	"impress/internal/trace"
 	"impress/internal/trackers"
 )
 
@@ -32,9 +33,28 @@ func TableII() *Table {
 	}
 }
 
+// fig3Spec is the tracker-less ExPress run at one tMRO point.
+func fig3Spec(w trace.Workload, ns int64) RunSpec {
+	design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(ns)).WithEmpiricalThreshold()
+	return RunSpec{Workload: w, Design: design, Tracker: sim.TrackerNone}
+}
+
+// figure3Specs declares every simulation Figure3 needs.
+func figure3Specs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	for _, w := range r.Workloads() {
+		specs = append(specs, baselineSpec(w))
+		for _, ns := range tMROSweepNs {
+			specs = append(specs, fig3Spec(w, ns))
+		}
+	}
+	return specs
+}
+
 // Figure3 regenerates the per-workload performance impact of limiting
 // row-open time to tMRO (no Rowhammer tracker; pure row-policy effect).
 func Figure3(r *Runner) *Table {
+	r.Prefetch(figure3Specs(r))
 	t := &Table{
 		ID: "fig3", Title: "Normalized performance vs tMRO (paper Fig. 3)",
 		Header: []string{"Workload"},
@@ -51,8 +71,7 @@ func Figure3(r *Runner) *Table {
 		base := r.Baseline(w)
 		row := []string{w.Name}
 		for i, ns := range tMROSweepNs {
-			design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(ns)).WithEmpiricalThreshold()
-			res := r.Run(RunSpec{Workload: w, Design: design, Tracker: sim.TrackerNone})
+			res := r.Run(fig3Spec(w, ns))
 			v := res.NormalizeTo(base)
 			perTMRO[i][w.Name] = v
 			row = append(row, f3(v))
@@ -71,9 +90,30 @@ func Figure3(r *Runner) *Table {
 	return t
 }
 
+// fig5Spec is the ExPress run at one tMRO point under a tracker.
+func fig5Spec(w trace.Workload, tracker sim.TrackerKind, ns int64) RunSpec {
+	design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(ns)).WithEmpiricalThreshold()
+	return RunSpec{Workload: w, Design: design, Tracker: tracker, DesignTRH: TRH(4000)}
+}
+
+// figure5Specs declares every simulation Figure5 needs.
+func figure5Specs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
+		for _, w := range r.Workloads() {
+			specs = append(specs, noRPSpec(w, tracker, 4000, 80))
+			for _, ns := range tMROSweepNs {
+				specs = append(specs, fig5Spec(w, tracker, ns))
+			}
+		}
+	}
+	return specs
+}
+
 // Figure5 regenerates the Graphene/PARA performance as tMRO varies under
 // ExPress with the characterized T*(tMRO) retuning.
 func Figure5(r *Runner) *Table {
+	r.Prefetch(figure5Specs(r))
 	t := &Table{
 		ID: "fig5", Title: "Graphene and PARA performance vs tMRO under ExPress (paper Fig. 5)",
 		Header: []string{"Tracker", "Class"},
@@ -93,8 +133,7 @@ func Figure5(r *Runner) *Table {
 		for _, w := range ws {
 			base := r.NoRP(w, tracker, 4000, 80)
 			for i, ns := range tMROSweepNs {
-				design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(ns)).WithEmpiricalThreshold()
-				res := r.Run(RunSpec{Workload: w, Design: design, Tracker: tracker, DesignTRH: 4000})
+				res := r.Run(fig5Spec(w, tracker, ns))
 				cols[i][w.Name] = res.NormalizeTo(base)
 			}
 			// "no-tMRO" is the No-RP configuration itself (tON unlimited).
@@ -122,10 +161,40 @@ func designSet13(alpha float64) []core.Design {
 	}
 }
 
+// fig13MintSpecs returns the Fig. 13 MINT panel runs: ImPress-N at RFM-40
+// and ImPress-P at RFM-80 (Appendix A threshold retention).
+func fig13MintSpecs(w trace.Workload) (specN, specP RunSpec) {
+	mintTRH := trackers.MINTToleratedTRH(80)
+	specN = RunSpec{Workload: w, Design: core.NewDesign(core.ImpressN),
+		Tracker: sim.TrackerMINT, DesignTRH: TRH(mintTRH), RFMTH: RFM(40)}
+	specP = RunSpec{Workload: w, Design: core.NewDesign(core.ImpressP),
+		Tracker: sim.TrackerMINT, DesignTRH: TRH(mintTRH), RFMTH: RFM(80)}
+	return specN, specP
+}
+
+// figure13Specs declares every simulation Figure13 needs.
+func figure13Specs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	mintTRH := trackers.MINTToleratedTRH(80)
+	for _, w := range r.Workloads() {
+		for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
+			specs = append(specs, noRPSpec(w, tracker, 4000, 80))
+			for _, d := range designSet13(1) {
+				specs = append(specs, RunSpec{Workload: w, Design: d, Tracker: tracker, DesignTRH: TRH(4000)})
+			}
+		}
+		specs = append(specs, noRPSpec(w, sim.TrackerMINT, mintTRH, 80))
+		specN, specP := fig13MintSpecs(w)
+		specs = append(specs, specN, specP)
+	}
+	return specs
+}
+
 // Figure13 regenerates the headline per-workload performance comparison:
 // ExPress vs ImPress-N vs ImPress-P (alpha = 1) on Graphene and PARA, and
 // ImPress-N (RFM-40) vs ImPress-P (RFM-80) on MINT.
 func Figure13(r *Runner) *Table {
+	r.Prefetch(figure13Specs(r))
 	t := &Table{
 		ID: "fig13", Title: "Performance normalized to No-RP, alpha=1 (paper Fig. 13)",
 		Header: []string{"Workload",
@@ -144,7 +213,7 @@ func Figure13(r *Runner) *Table {
 		for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
 			base := r.NoRP(w, tracker, 4000, 80)
 			for _, d := range designSet13(1) {
-				res := r.Run(RunSpec{Workload: w, Design: d, Tracker: tracker, DesignTRH: 4000})
+				res := r.Run(RunSpec{Workload: w, Design: d, Tracker: tracker, DesignTRH: TRH(4000)})
 				v := res.NormalizeTo(base)
 				cols[col][w.Name] = v
 				row = append(row, f3(v))
@@ -156,10 +225,8 @@ func Figure13(r *Runner) *Table {
 		// ImPress-P stays at RFM-80.
 		mintTRH := trackers.MINTToleratedTRH(80)
 		base := r.NoRP(w, sim.TrackerMINT, mintTRH, 80)
-		resN := r.Run(RunSpec{Workload: w, Design: core.NewDesign(core.ImpressN),
-			Tracker: sim.TrackerMINT, DesignTRH: mintTRH, RFMTH: 40})
-		resP := r.Run(RunSpec{Workload: w, Design: core.NewDesign(core.ImpressP),
-			Tracker: sim.TrackerMINT, DesignTRH: mintTRH, RFMTH: 80})
+		specN, specP := fig13MintSpecs(w)
+		resN, resP := r.Run(specN), r.Run(specP)
 		vN, vP := resN.NormalizeTo(base), resP.NormalizeTo(base)
 		cols[6][w.Name], cols[7][w.Name] = vN, vP
 		row = append(row, f3(vN), f3(vP))
@@ -178,8 +245,53 @@ func Figure13(r *Runner) *Table {
 	return t
 }
 
+// fig16Designs is the Fig. 16 MC-side design sweep: ExPress and ImPress-N
+// at alpha 0.35 and 1.
+func fig16Designs() []core.Design {
+	return []core.Design{
+		core.NewDesign(core.ExPress).WithAlpha(0.35),
+		core.NewDesign(core.ImpressN).WithAlpha(0.35),
+		core.NewDesign(core.ExPress).WithAlpha(1),
+		core.NewDesign(core.ImpressN).WithAlpha(1),
+	}
+}
+
+// fig16MintConfigs is the MINT panel: RFM-60 restores the threshold at
+// alpha=0.35, RFM-40 at 1.
+var fig16MintConfigs = []struct {
+	alpha float64
+	rfmth int
+}{{0.35, 60}, {1, 40}}
+
+// fig16MintSpec is one Fig. 16 MINT run.
+func fig16MintSpec(w trace.Workload, alpha float64, rfmth int) RunSpec {
+	mintTRH := trackers.MINTToleratedTRH(80)
+	return RunSpec{Workload: w, Design: core.NewDesign(core.ImpressN).WithAlpha(alpha),
+		Tracker: sim.TrackerMINT, DesignTRH: TRH(mintTRH), RFMTH: RFM(rfmth)}
+}
+
+// figure16Specs declares every simulation Figure16 needs.
+func figure16Specs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	mintTRH := trackers.MINTToleratedTRH(80)
+	for _, w := range r.Workloads() {
+		for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
+			specs = append(specs, noRPSpec(w, tracker, 4000, 80))
+			for _, d := range fig16Designs() {
+				specs = append(specs, RunSpec{Workload: w, Design: d, Tracker: tracker, DesignTRH: TRH(4000)})
+			}
+		}
+		specs = append(specs, noRPSpec(w, sim.TrackerMINT, mintTRH, 80))
+		for _, cfg := range fig16MintConfigs {
+			specs = append(specs, fig16MintSpec(w, cfg.alpha, cfg.rfmth))
+		}
+	}
+	return specs
+}
+
 // Figure16 regenerates the Appendix-A comparison at alpha in {0.35, 1}.
 func Figure16(r *Runner) *Table {
+	r.Prefetch(figure16Specs(r))
 	t := &Table{
 		ID: "fig16", Title: "ExPress vs ImPress-N at alpha 0.35 and 1 (paper Fig. 16)",
 		Header: []string{"Workload",
@@ -193,34 +305,23 @@ func Figure16(r *Runner) *Table {
 	for i := range cols {
 		cols[i] = map[string]float64{}
 	}
-	designs := []core.Design{
-		core.NewDesign(core.ExPress).WithAlpha(0.35),
-		core.NewDesign(core.ImpressN).WithAlpha(0.35),
-		core.NewDesign(core.ExPress).WithAlpha(1),
-		core.NewDesign(core.ImpressN).WithAlpha(1),
-	}
 	for _, w := range ws {
 		row := []string{w.Name}
 		col := 0
 		for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
 			base := r.NoRP(w, tracker, 4000, 80)
-			for _, d := range designs {
-				res := r.Run(RunSpec{Workload: w, Design: d, Tracker: tracker, DesignTRH: 4000})
+			for _, d := range fig16Designs() {
+				res := r.Run(RunSpec{Workload: w, Design: d, Tracker: tracker, DesignTRH: TRH(4000)})
 				v := res.NormalizeTo(base)
 				cols[col][w.Name] = v
 				row = append(row, f3(v))
 				col++
 			}
 		}
-		// MINT: RFM-60 restores the threshold at alpha=0.35, RFM-40 at 1.
 		mintTRH := trackers.MINTToleratedTRH(80)
 		base := r.NoRP(w, sim.TrackerMINT, mintTRH, 80)
-		for i, cfg := range []struct {
-			alpha float64
-			rfmth int
-		}{{0.35, 60}, {1, 40}} {
-			res := r.Run(RunSpec{Workload: w, Design: core.NewDesign(core.ImpressN).WithAlpha(cfg.alpha),
-				Tracker: sim.TrackerMINT, DesignTRH: mintTRH, RFMTH: cfg.rfmth})
+		for i, cfg := range fig16MintConfigs {
+			res := r.Run(fig16MintSpec(w, cfg.alpha, cfg.rfmth))
 			v := res.NormalizeTo(base)
 			cols[8+i][w.Name] = v
 			row = append(row, f3(v))
@@ -239,29 +340,53 @@ func Figure16(r *Runner) *Table {
 	return t
 }
 
+// namedDesign pairs a display label with a design for the comparison sets
+// shared by Figure14, EnergyTable and Figure15.
+type namedDesign struct {
+	name string
+	d    core.Design
+}
+
+// comparisonDesigns is the No-RP / ExPress / ImPress-P comparison set.
+func comparisonDesigns() []namedDesign {
+	return []namedDesign{
+		{"no-rp", core.NewDesign(core.NoRP)},
+		{"express", core.NewDesign(core.ExPress)},
+		{"impress-p", core.NewDesign(core.ImpressP)},
+	}
+}
+
+// figure14Specs declares every simulation Figure14 (and EnergyTable, which
+// reuses the identical run set) needs.
+func figure14Specs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	for _, w := range r.Workloads() {
+		specs = append(specs, baselineSpec(w))
+		for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
+			for _, dd := range comparisonDesigns() {
+				specs = append(specs, RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: TRH(4000)})
+			}
+		}
+	}
+	return specs
+}
+
 // Figure14 regenerates the activation-overhead breakdown: demand and
 // mitigative activations relative to the unprotected baseline, averaged
 // over all workloads.
 func Figure14(r *Runner) *Table {
+	r.Prefetch(figure14Specs(r))
 	t := &Table{
 		ID: "fig14", Title: "Relative activations: demand + mitigative (paper Fig. 14)",
 		Header: []string{"Tracker", "Design", "Demand ACTs", "Mitigative ACTs", "Total"},
 	}
 	ws := r.Workloads()
-	designs := []struct {
-		name string
-		d    core.Design
-	}{
-		{"no-rp", core.NewDesign(core.NoRP)},
-		{"express", core.NewDesign(core.ExPress)},
-		{"impress-p", core.NewDesign(core.ImpressP)},
-	}
 	for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
-		for _, dd := range designs {
+		for _, dd := range comparisonDesigns() {
 			var demand, mitig []float64
 			for _, w := range ws {
 				unprot := r.Baseline(w)
-				res := r.Run(RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: 4000})
+				res := r.Run(RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: TRH(4000)})
 				baseActs := float64(unprot.Mem.DemandACTs)
 				if baseActs == 0 {
 					continue
@@ -286,26 +411,19 @@ func Figure14(r *Runner) *Table {
 // EnergyTable regenerates the Section VI-E energy overheads from the same
 // run set as Figure 14.
 func EnergyTable(r *Runner) *Table {
+	r.Prefetch(figure14Specs(r))
 	t := &Table{
 		ID: "energy", Title: "DRAM energy relative to unprotected baseline (paper Section VI-E)",
 		Header: []string{"Tracker", "Design", "Relative energy", "Activation share"},
 	}
 	model := energy.DefaultModel()
 	ws := r.Workloads()
-	designs := []struct {
-		name string
-		d    core.Design
-	}{
-		{"no-rp", core.NewDesign(core.NoRP)},
-		{"express", core.NewDesign(core.ExPress)},
-		{"impress-p", core.NewDesign(core.ImpressP)},
-	}
 	for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
-		for _, dd := range designs {
+		for _, dd := range comparisonDesigns() {
 			var rel, share []float64
 			for _, w := range ws {
 				unprot := r.Baseline(w)
-				res := r.Run(RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: 4000})
+				res := r.Run(RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: TRH(4000)})
 				baseE := model.Compute(unprot.Mem, dram.Tick(unprot.Cycles*dram.TicksPerCPUCycle), 2)
 				e := model.Compute(res.Mem, dram.Tick(res.Cycles*dram.TicksPerCPUCycle), 2)
 				rel = append(rel, energy.RelativeEnergy(e, baseE))
@@ -321,36 +439,46 @@ func EnergyTable(r *Runner) *Table {
 	return t
 }
 
+// fig15TRHs is the Fig. 15 threshold sweep.
+var fig15TRHs = []float64{4000, 2000, 1000}
+
+// figure15Specs declares every simulation Figure15 needs.
+func figure15Specs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	for _, w := range r.Workloads() {
+		specs = append(specs, baselineSpec(w))
+		for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
+			for _, dd := range comparisonDesigns() {
+				for _, trh := range fig15TRHs {
+					specs = append(specs, RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: TRH(trh)})
+				}
+			}
+		}
+	}
+	return specs
+}
+
 // Figure15 regenerates the threshold-scaling study: Graphene and PARA at
 // TRH in {4K, 2K, 1K} for No-RP, ExPress and ImPress-P, normalized to the
 // unprotected baseline.
 func Figure15(r *Runner) *Table {
+	r.Prefetch(figure15Specs(r))
 	t := &Table{
 		ID: "fig15", Title: "Performance vs TRH, normalized to unprotected (paper Fig. 15)",
 		Header: []string{"Tracker", "Design", "TRH=4K", "TRH=2K", "TRH=1K"},
 	}
 	ws := r.Workloads()
-	designs := []struct {
-		name string
-		d    core.Design
-	}{
-		{"no-rp", core.NewDesign(core.NoRP)},
-		{"express", core.NewDesign(core.ExPress)},
-		{"impress-p", core.NewDesign(core.ImpressP)},
-	}
 	for _, tracker := range []sim.TrackerKind{sim.TrackerGraphene, sim.TrackerPARA} {
-		for _, dd := range designs {
+		for _, dd := range comparisonDesigns() {
 			row := []string{string(tracker), dd.name}
-			for _, trh := range []float64{4000, 2000, 1000} {
-				vals := map[string]float64{}
+			for _, trh := range fig15TRHs {
+				// Collect in workload order: map iteration would randomize
+				// float summation inside GeoMean across invocations.
+				var all []float64
 				for _, w := range ws {
 					unprot := r.Baseline(w)
-					res := r.Run(RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: trh})
-					vals[w.Name] = res.NormalizeTo(unprot)
-				}
-				var all []float64
-				for _, v := range vals {
-					all = append(all, v)
+					res := r.Run(RunSpec{Workload: w, Design: dd.d, Tracker: tracker, DesignTRH: TRH(trh)})
+					all = append(all, res.NormalizeTo(unprot))
 				}
 				row = append(row, f3(stats.GeoMean(all)))
 			}
@@ -362,9 +490,24 @@ func Figure15(r *Runner) *Table {
 	return t
 }
 
+// allSimSpecs is the union of every simulation-backed experiment's spec
+// list (Prefetch deduplicates the overlap, e.g. shared baselines).
+func allSimSpecs(r *Runner) []RunSpec {
+	var specs []RunSpec
+	specs = append(specs, figure3Specs(r)...)
+	specs = append(specs, figure5Specs(r)...)
+	specs = append(specs, figure13Specs(r)...)
+	specs = append(specs, figure14Specs(r)...)
+	specs = append(specs, figure15Specs(r)...)
+	specs = append(specs, figure16Specs(r)...)
+	return specs
+}
+
 // All returns every experiment in paper order, using runner r for the
-// simulation-backed ones.
+// simulation-backed ones. The full simulation set is prefetched up front
+// so independent runs across figures execute concurrently.
 func All(r *Runner) []*Table {
+	r.Prefetch(allSimSpecs(r))
 	return []*Table{
 		TableI(), TableII(),
 		Figure3(r), Figure4(), Figure5(r),
@@ -373,7 +516,7 @@ func All(r *Runner) []*Table {
 		Figure13(r), TableIII(), Figure14(r), EnergyTable(r), Figure15(r),
 		Figure16(r), Figure18(), Figure19(),
 		StorageTable(), SecuritySummary(),
-		PRACTable(), RelatedWorkDSAC(), AblationRFMPacing(),
+		PRACTable(), RelatedWorkDSAC(), AblationRFMPacingParallel(r.parallelism()),
 	}
 }
 

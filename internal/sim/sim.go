@@ -98,6 +98,16 @@ func (r Result) NormalizeTo(baseline Result) float64 {
 }
 
 // Run executes the simulation.
+//
+// Run is safe for concurrent use: every call builds a private simulator —
+// its own RNG chain seeded from cfg.Seed, trace generators, cores, LLC
+// and memory controller — and the package keeps no mutable global state.
+// Results depend only on cfg, never on what other goroutines are doing,
+// which is what lets the experiment runner (internal/experiments) fan
+// independent runs out over a worker pool while remaining bit-for-bit
+// deterministic. The Config value itself must not be mutated while Run
+// uses it; Design, Workload and cpu/cache configs are plain values, so
+// sharing one Config template across goroutines by copy is fine.
 func Run(cfg Config) Result {
 	if cfg.Cores <= 0 {
 		panic("sim: need at least one core")
@@ -158,6 +168,13 @@ func newSimulator(cfg Config) *simulator {
 }
 
 // trackerFactory builds per-bank trackers tuned to the design's T*.
+//
+// The captured rng is owned by exactly one simulator: it is created in
+// newSimulator per Run call and only ever advanced from that simulator's
+// single goroutine (bank construction inside memctrl.New is sequential,
+// and PARA/MINT draw from their own Split() streams afterwards). Nothing
+// here may be shared across concurrent Run calls — stats.Rand is not
+// goroutine-safe.
 func trackerFactory(cfg Config, rng *stats.Rand) memctrl.TrackerFactory {
 	if cfg.Tracker == TrackerNone {
 		return nil

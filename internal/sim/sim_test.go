@@ -138,3 +138,31 @@ func TestAllTrackersRun(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentRunsAreIsolated runs the same seeded config from several
+// goroutines alongside a serial reference and checks every result is
+// identical: Run must not share RNG streams, generators or any other
+// mutable state across calls (the contract the parallel experiment runner
+// in internal/experiments depends on). Meaningful under -race.
+func TestConcurrentRunsAreIsolated(t *testing.T) {
+	cfg := quickConfig("gcc", core.NewDesign(core.ImpressP), TrackerPARA)
+	want := Run(cfg)
+	const goroutines = 4
+	results := make([]Result, goroutines)
+	done := make(chan int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			results[i] = Run(cfg)
+			done <- i
+		}()
+	}
+	for i := 0; i < goroutines; i++ {
+		<-done
+	}
+	for i, got := range results {
+		if got.Cycles != want.Cycles || got.WeightedIPCSum != want.WeightedIPCSum ||
+			got.Mem != want.Mem {
+			t.Fatalf("concurrent run %d diverged from serial reference:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
