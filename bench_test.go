@@ -193,6 +193,30 @@ func BenchmarkPrefetchSerial(b *testing.B) { benchmarkPrefetch(b, 1) }
 // workers; the serial/parallel ratio is the scheduler's speedup.
 func BenchmarkPrefetchParallel(b *testing.B) { benchmarkPrefetch(b, 0) }
 
+// --- Per-run clocking ---
+
+// benchmarkRunClock measures one full simulation under the given clock;
+// the EventDriven/CycleAccurate pair's ratio is the intra-run speedup of
+// the event-driven clock on the paper's lowest-MPKI workload (see
+// internal/sim's BenchmarkClock* for the full workload sweep, including
+// the LLC-resident low-intensity profile where the win is largest).
+func benchmarkRunClock(b *testing.B, clock impress.SimClockMode) {
+	w, err := impress.WorkloadByName("gcc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		cfg := impress.DefaultSimConfig(w, impress.NewDesign(impress.NoRP), impress.TrackerNone)
+		cfg.WarmupInstructions = 10_000
+		cfg.RunInstructions = 50_000
+		cfg.Clock = clock
+		impress.RunSim(cfg)
+	}
+}
+
+func BenchmarkRunEventDriven(b *testing.B)   { benchmarkRunClock(b, impress.SimClockEventDriven) }
+func BenchmarkRunCycleAccurate(b *testing.B) { benchmarkRunClock(b, impress.SimClockCycleAccurate) }
+
 // --- Extension experiments ---
 
 func BenchmarkPRACTable(b *testing.B) {

@@ -33,6 +33,8 @@ func main() {
 	warmup := flag.Int64("warmup", 100_000, "warmup instructions per core")
 	run := flag.Int64("instructions", 500_000, "measured instructions per core")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	clock := flag.String("clock", "event",
+		"clocking: event (skip idle cycles), cycle (tick every cycle), lockstep (cross-check both)")
 	flag.Parse()
 
 	if *list {
@@ -63,6 +65,17 @@ func main() {
 	cfg.WarmupInstructions = *warmup
 	cfg.RunInstructions = *run
 	cfg.Seed = *seed
+	switch *clock {
+	case "event":
+		cfg.Clock = sim.ClockEventDriven
+	case "cycle":
+		cfg.Clock = sim.ClockCycleAccurate
+	case "lockstep":
+		cfg.Clock = sim.ClockLockstep
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -clock %q (want event, cycle or lockstep)\n", *clock)
+		os.Exit(2)
+	}
 
 	res := sim.Run(cfg)
 	m := res.Mem

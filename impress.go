@@ -226,6 +226,18 @@ const (
 	TrackerMINT     = sim.TrackerMINT
 )
 
+// SimClockMode selects the simulator's stepping strategy.
+type SimClockMode = sim.ClockMode
+
+// Simulator clocking choices: the event-driven clock (default) skips
+// provably idle cycles and is bit-identical to cycle-accurate stepping;
+// lockstep runs both and panics on the first divergence (debug).
+const (
+	SimClockEventDriven   = sim.ClockEventDriven
+	SimClockCycleAccurate = sim.ClockCycleAccurate
+	SimClockLockstep      = sim.ClockLockstep
+)
+
 // Workload is a named synthetic workload.
 type Workload = trace.Workload
 

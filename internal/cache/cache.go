@@ -44,11 +44,27 @@ const (
 	rrpvPromote = 0               // near-immediate on hit
 )
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	rrpv  uint8
+// line is one cache line packed into a word: the tag in the high 60
+// bits, then a dirty bit, a valid bit, and the 2-bit RRPV in the low
+// bits. Packing matters at construction time as much as lookup time —
+// the 16 MB default config holds 256 K lines, and a one-word line
+// quarters the memory the runtime must zero per simulator and keeps a
+// whole set inside two cache lines.
+type line = uint64
+
+const (
+	lineRRPVMask line = rrpvMax
+	lineValid    line = 1 << rrpvBits
+	lineDirty    line = 1 << (rrpvBits + 1)
+	lineTagShift      = rrpvBits + 2
+)
+
+func packLine(tag uint64, dirty bool, rrpv line) line {
+	l := line(tag)<<lineTagShift | lineValid | rrpv
+	if dirty {
+		l |= lineDirty
+	}
+	return l
 }
 
 // Victim describes a line evicted by a fill.
@@ -61,7 +77,8 @@ type Victim struct {
 // timing lives in the simulator.
 type Cache struct {
 	cfg       Config
-	sets      [][]line
+	lines     []line // flat: set i occupies lines[i*ways : (i+1)*ways]
+	ways      uint64
 	setMask   uint64
 	setBits   uint
 	lineShift uint
@@ -77,11 +94,9 @@ func New(cfg Config) *Cache {
 	numSets := cfg.SizeBytes / (cfg.Ways * cfg.LineSize)
 	c := &Cache{
 		cfg:     cfg,
-		sets:    make([][]line, numSets),
+		lines:   make([]line, numSets*cfg.Ways),
+		ways:    uint64(cfg.Ways),
 		setMask: uint64(numSets - 1),
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
 	}
 	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
 		c.lineShift++
@@ -93,7 +108,12 @@ func New(cfg Config) *Cache {
 }
 
 // NumSets returns the set count.
-func (c *Cache) NumSets() int { return len(c.sets) }
+func (c *Cache) NumSets() int { return len(c.lines) / int(c.ways) }
+
+// set returns the ways of set idx.
+func (c *Cache) set(idx uint64) []line {
+	return c.lines[idx*c.ways : (idx+1)*c.ways]
+}
 
 func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 	lineAddr := addr >> c.lineShift
@@ -105,12 +125,13 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 // is expected to Fill once the memory system returns data.
 func (c *Cache) Access(addr uint64, write bool) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
-			l.rrpv = rrpvPromote
+	key := line(tag)<<lineTagShift | lineValid
+	lines := c.set(set)
+	for i := range lines {
+		if lines[i]>>lineTagShift == line(tag) && lines[i]&lineValid != 0 {
+			lines[i] = key | lines[i]&lineDirty | rrpvPromote
 			if write {
-				l.dirty = true
+				lines[i] |= lineDirty
 			}
 			c.hits++
 			return true
@@ -124,9 +145,8 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 // state or statistics.
 func (c *Cache) Contains(addr uint64) bool {
 	set, tag := c.index(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
-		if l.valid && l.tag == tag {
+	for _, l := range c.set(set) {
+		if l>>lineTagShift == line(tag) && l&lineValid != 0 {
 			return true
 		}
 	}
@@ -137,29 +157,32 @@ func (c *Cache) Contains(addr uint64) bool {
 // evicted victim, if any. write marks the new line dirty immediately.
 func (c *Cache) Fill(addr uint64, write bool) (Victim, bool) {
 	set, tag := c.index(addr)
-	lines := c.sets[set]
+	lines := c.set(set)
 	// Already present (a racing fill merged): just update.
 	for i := range lines {
-		if lines[i].valid && lines[i].tag == tag {
+		if lines[i]>>lineTagShift == line(tag) && lines[i]&lineValid != 0 {
 			if write {
-				lines[i].dirty = true
+				lines[i] |= lineDirty
 			}
 			return Victim{}, false
 		}
 	}
 	// Find an invalid way first.
 	for i := range lines {
-		if !lines[i].valid {
-			lines[i] = line{tag: tag, valid: true, dirty: write, rrpv: rrpvInsert}
+		if lines[i]&lineValid == 0 {
+			lines[i] = packLine(tag, write, rrpvInsert)
 			return Victim{}, false
 		}
 	}
 	// SRRIP: evict the first line with RRPV == max, aging until found.
 	for {
 		for i := range lines {
-			if lines[i].rrpv == rrpvMax {
-				v := Victim{Addr: c.lineAddr(set, lines[i].tag), Dirty: lines[i].dirty}
-				lines[i] = line{tag: tag, valid: true, dirty: write, rrpv: rrpvInsert}
+			if lines[i]&lineRRPVMask == rrpvMax {
+				v := Victim{
+					Addr:  c.lineAddr(set, uint64(lines[i]>>lineTagShift)),
+					Dirty: lines[i]&lineDirty != 0,
+				}
+				lines[i] = packLine(tag, write, rrpvInsert)
 				c.evictions++
 				if v.Dirty {
 					c.writebacks++
@@ -167,8 +190,10 @@ func (c *Cache) Fill(addr uint64, write bool) (Victim, bool) {
 				return v, true
 			}
 		}
+		// All RRPVs are below max here, so the +1 stays within the
+		// 2-bit field.
 		for i := range lines {
-			lines[i].rrpv++
+			lines[i]++
 		}
 	}
 }

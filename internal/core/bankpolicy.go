@@ -27,6 +27,12 @@ type BankPolicy interface {
 	// Advance flushes events for all policy-internal deadlines up to and
 	// including now (a no-op for every design except ImPress-N).
 	Advance(now dram.Tick) []Event
+	// NextEvent returns the earliest tick at which Advance could emit or
+	// change policy state (the next ImPress-N window boundary), or
+	// dram.TickMax for policies with no time-driven behavior. The
+	// event-driven clock must not skip past this horizon while the bank's
+	// row is open.
+	NextEvent() dram.Tick
 }
 
 // NewBankPolicy creates the per-bank state machine for d.
@@ -60,6 +66,8 @@ func (p *perActPolicy) OnPrecharge(dram.Tick, int64, dram.Tick) []Event { return
 
 func (p *perActPolicy) Advance(dram.Tick) []Event { return nil }
 
+func (p *perActPolicy) NextEvent() dram.Tick { return dram.TickMax }
+
 // impressPPolicy implements ImPress-P: nothing at ACT; the full access is
 // charged at PRE, weighted by EACT = (tON + tPRE)/tRC at the configured
 // precision (Fig. 11).
@@ -74,6 +82,8 @@ func (p *impressPPolicy) OnPrecharge(_ dram.Tick, row int64, tON dram.Tick) []Ev
 }
 
 func (p *impressPPolicy) Advance(dram.Tick) []Event { return nil }
+
+func (p *impressPPolicy) NextEvent() dram.Tick { return dram.TickMax }
 
 // impressNPolicy implements ImPress-N's Timer + ORA register pair
 // (Fig. 9): time is divided into global windows of tRC; at each window
@@ -147,3 +157,5 @@ func (p *impressNPolicy) OnPrecharge(now dram.Tick, _ int64, _ dram.Tick) []Even
 func (p *impressNPolicy) Advance(now dram.Tick) []Event {
 	return p.flush(now)
 }
+
+func (p *impressNPolicy) NextEvent() dram.Tick { return p.nextBoundary }

@@ -143,6 +143,27 @@ func (b *Bank) Column(now Tick, row int64) Tick {
 	return now + b.t.TCAS + b.t.TBurst
 }
 
+// EarliestColumn returns the earliest tick at which a column command to
+// the open row becomes legal (openSince+tRCD); only meaningful when a row
+// is open.
+func (b *Bank) EarliestColumn() Tick { return b.openSince + b.t.TACT }
+
+// EarliestActivate returns the earliest tick at which ACT could become
+// legal absent further commands: the end of the current PRE/REF recovery
+// and the tRC spacing from the previous ACT. A bank with an open row
+// returns TickMax — it must be precharged first, and the precharge will
+// reschedule the horizon.
+func (b *Bank) EarliestActivate() Tick {
+	if b.state == BankActive {
+		return TickMax
+	}
+	e := b.readyAt
+	if t := b.lastACT + b.t.TRC; t > e {
+		e = t
+	}
+	return e
+}
+
 // CanRefresh reports whether REF/RFM can start at time now (bank idle).
 func (b *Bank) CanRefresh(now Tick) bool {
 	return b.state == BankIdle && now >= b.readyAt

@@ -205,6 +205,32 @@ func (c *Channel) Activate(now Tick, bank int, row int64, mitigative bool) {
 	c.notify(CommandEvent{Now: now, Cmd: CmdACT, Bank: bank, Row: row, Mitigative: mitigative})
 }
 
+// EarliestActivate returns the earliest tick >= now at which ACT(bank)
+// could become legal assuming no further commands are issued: the bank's
+// own recovery (tRC and PRE/REF completion) combined with the
+// sub-channel activation-rate horizons (tRRD and the tFAW window). A bank
+// with an open row returns TickMax; it needs a PRE first, which
+// reschedules the horizon. The result is exact: CanActivate(e, bank) is
+// true at the returned tick e (absent intervening commands), and false at
+// every tick before it.
+func (c *Channel) EarliestActivate(now Tick, bank int) Tick {
+	e := c.banks[bank].EarliestActivate()
+	if e == TickMax {
+		return e
+	}
+	s := c.subChannel(bank)
+	if t := c.lastSubACT[s] + c.cfg.Timings.TRRD; t > e {
+		e = t
+	}
+	if t := c.actRing[s][c.actRingPos[s]] + c.cfg.Timings.TFAW; t > e {
+		e = t
+	}
+	if now > e {
+		e = now
+	}
+	return e
+}
+
 // CanPrecharge reports whether bank can accept PRE at now.
 func (c *Channel) CanPrecharge(now Tick, bank int) bool {
 	return c.banks[bank].CanPrecharge(now)
@@ -240,6 +266,10 @@ func (c *Channel) Column(now Tick, bank int, row int64, write bool) Tick {
 // RefreshDue reports whether a REF is due at time now (accounting for
 // postponement already consumed).
 func (c *Channel) RefreshDue(now Tick) bool { return now >= c.nextRefreshDue }
+
+// NextRefreshDue returns the tick at which the next REF becomes due (the
+// refresh horizon of an otherwise idle channel).
+func (c *Channel) NextRefreshDue() Tick { return c.nextRefreshDue }
 
 // RefreshDeadline returns the latest tick by which REF must be issued: the
 // due time plus the remaining postponement allowance.

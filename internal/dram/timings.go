@@ -8,7 +8,10 @@
 // internal/memctrl.
 package dram
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Tick is the global simulation time unit: 125 picoseconds.
 //
@@ -16,6 +19,11 @@ import "fmt"
 // exactly 3 ticks, so both clock domains advance in integer ticks and no
 // floating-point time arithmetic is needed anywhere in the simulator.
 type Tick int64
+
+// TickMax is the "never" horizon returned by NextEvent-style queries when
+// a component has no self-scheduled future state change (it only reacts
+// to external commands).
+const TickMax = Tick(math.MaxInt64)
 
 // Clock-domain and unit conversions.
 const (

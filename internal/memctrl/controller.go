@@ -179,6 +179,10 @@ type channelCtl struct {
 	// refreshing marks refresh draining in progress.
 	refreshing bool
 
+	// writeDrain marks write-drain mode (watermark hysteresis; see
+	// nextWriteDrain).
+	writeDrain bool
+
 	// forcedClose schedules tMRO/tONMax closures.
 	forcedClose closeHeap
 
@@ -190,8 +194,12 @@ type channelCtl struct {
 
 	// openBanks counts banks with open rows (refresh drain fast path).
 	openBanks int
-	// nextIdleScan throttles the idle-close sweep.
-	nextIdleScan dram.Tick
+	// idleDeadline is a lower bound on the earliest tick any open row's
+	// idle-close timeout can fire. Activations and column commands
+	// min it down; the sweep at expiry either closes a row or recomputes
+	// the exact bound, so rows close at their exact timeout instead of on
+	// a fixed-period scan.
+	idleDeadline dram.Tick
 
 	stats Stats
 }
@@ -205,6 +213,9 @@ type Controller struct {
 	inDRAM     bool
 	openLimit  dram.Tick
 	isImpressN bool
+
+	// issues counts column commands (reads + writes) across channels.
+	issues uint64
 }
 
 // New builds a controller; panics on invalid configuration.
@@ -230,7 +241,8 @@ func New(cfg Config) *Controller {
 				Banks:   cfg.Mapper.BanksPerChannel,
 				Timings: cfg.Timings,
 			}),
-			banks: make([]bankCtl, cfg.Mapper.BanksPerChannel),
+			banks:        make([]bankCtl, cfg.Mapper.BanksPerChannel),
+			idleDeadline: dram.TickMax,
 		}
 		for b := range cc.banks {
 			cc.banks[b].policy = core.NewBankPolicy(cfg.Design)
@@ -328,9 +340,13 @@ func (c *Controller) feed(cc *channelCtl, b int, events []core.Event, demandACT 
 	}
 }
 
-// Tick advances the controller by one DRAM cycle at time now. It issues at
-// most one command per channel per cycle.
-func (c *Controller) Tick(now dram.Tick) {
+// Tick advances the controller by one DRAM cycle at time now. It issues
+// at most one command per channel per cycle. The return value reports
+// whether the controller is active — it issued a command or is draining
+// toward a refresh — and therefore must be ticked again next cycle; when
+// it returns false, NextEvent gives the next cycle that needs a Tick and
+// the caller may skip the cycles in between (absent new Pushes).
+func (c *Controller) Tick(now dram.Tick) bool {
 	// Refresh-window boundary: all victims refreshed, trackers reset.
 	if now >= c.windowEnd {
 		for _, cc := range c.channels {
@@ -342,32 +358,47 @@ func (c *Controller) Tick(now dram.Tick) {
 		}
 		c.windowEnd += c.cfg.Timings.TREFW
 	}
+	active := false
 	for _, cc := range c.channels {
-		c.tickChannel(cc, now)
+		if c.tickChannel(cc, now) {
+			active = true
+		}
 	}
+	return active
 }
 
-func (c *Controller) tickChannel(cc *channelCtl, now dram.Tick) {
+// Issues returns the total column commands issued (reads + writes); the
+// simulator uses the delta to detect queue pops that may unblock
+// backpressured cores.
+func (c *Controller) Issues() uint64 { return c.issues }
+
+func (c *Controller) tickChannel(cc *channelCtl, now dram.Tick) bool {
 	// 1. Refresh has absolute priority once due: drain open rows, then REF.
 	if cc.refreshing || cc.ch.RefreshDue(now) {
 		cc.refreshing = true
+		// Advance passive bank state on every drain cycle, whether or not
+		// rows are still open. The channel's time-advance contract is that
+		// Tick is lazy and idempotent, but a drain cycle that neither
+		// ticks nor issues would leave refreshing banks formally "busy"
+		// for observers that read state without a preceding Tick; both
+		// drain paths now advance time identically.
+		cc.ch.Tick(now)
 		if cc.openBanks == 0 {
-			cc.ch.Tick(now)
 			if cc.ch.CanRefresh(now) {
 				cc.ch.Refresh(now)
 				cc.stats.Refreshes++
 				cc.refreshing = false
 			}
-			return
+			return true
 		}
 		// Precharge one open row per cycle (command-bus limit).
 		for b := range cc.banks {
 			if cc.banks[b].openValid && cc.ch.CanPrecharge(now, b) {
 				c.closeRow(cc, b, now, cc.banks[b].mitigOpen)
-				return
+				return true
 			}
 		}
-		return // waiting for tRAS of some open row
+		return true // waiting for tRAS of some open row
 	}
 
 	// 2. ImPress-N window advancement for open banks (cheap early-out per
@@ -392,44 +423,268 @@ func (c *Controller) tickChannel(cc *channelCtl, now dram.Tick) {
 			heap.Pop(&cc.forcedClose)
 			cc.stats.ForcedClosures++
 			c.closeRow(cc, ev.bank, now, bank.mitigOpen)
-			return
+			return true
 		}
 		break // tRAS not yet satisfied; retry next cycle
 	}
 
-	// 3b. Adaptive idle-close: sweep open rows with no recent activity
-	// (throttled; 16-cycle granularity against a microsecond timeout).
-	if c.cfg.IdleCloseAfter > 0 && cc.openBanks > 0 && now >= cc.nextIdleScan {
-		cc.nextIdleScan = now + 16*dram.TicksPerDRAMCycle
+	// 3b. Adaptive idle-close: when the earliest possible timeout
+	// expires, close one idle row per cycle; if none is closable the
+	// sweep recomputes the exact next deadline, so the channel neither
+	// scans periodically nor closes late.
+	if c.cfg.IdleCloseAfter > 0 && cc.openBanks > 0 && now >= cc.idleDeadline {
+		next := dram.TickMax
 		for b := range cc.banks {
 			bank := &cc.banks[b]
-			if bank.openValid && !bank.mitigOpen &&
-				now-bank.lastUse >= c.cfg.IdleCloseAfter && cc.ch.CanPrecharge(now, b) {
+			if !bank.openValid || bank.mitigOpen {
+				continue
+			}
+			due := bank.lastUse + c.cfg.IdleCloseAfter
+			if due > now {
+				if due < next {
+					next = due
+				}
+				continue
+			}
+			if cc.ch.CanPrecharge(now, b) {
 				cc.stats.IdleClosures++
 				c.closeRow(cc, b, now, false)
-				return
+				return true
+			}
+			if ep := cc.ch.Bank(b).EarliestPrecharge(); ep < next {
+				next = ep // tRAS-held: retry at the earliest legal PRE
 			}
 		}
+		cc.idleDeadline = next
 	}
 
 	// 4. Mitigation work: close finished mitigation rows, open next victims.
 	if len(cc.mitigBanks) > 0 && c.mitigationStep(cc, now) {
-		return
+		return true
 	}
 
 	// 5. RFM for in-DRAM trackers.
 	if len(cc.rfmBanks) > 0 && c.rfmStep(cc, now) {
-		return
+		return true
 	}
 
-	// 6. Demand scheduling: FR-FCFS over reads, then writes.
-	serveWrites := len(cc.writeQ) >= c.cfg.WriteQueueCap*3/4 || len(cc.readQ) == 0
+	// 6. Demand scheduling: FR-FCFS. Write drain uses watermark
+	// hysteresis (enter at 3/4 cap, drain down to 1/4 cap) and gives
+	// writes bus priority while engaged — without both, the 3/4 test
+	// re-evaluated every cycle flipped the controller in and out of
+	// write mode at the boundary, and a steady read stream could starve
+	// a watermarked write queue indefinitely; see nextWriteDrain.
+	cc.writeDrain = nextWriteDrain(cc.writeDrain, len(cc.writeQ), c.cfg.WriteQueueCap)
+	if cc.writeDrain {
+		if c.schedule(cc, now, cc.writeQ, true) {
+			return true
+		}
+		return c.schedule(cc, now, cc.readQ, false)
+	}
 	if c.schedule(cc, now, cc.readQ, false) {
-		return
+		return true
 	}
-	if serveWrites {
-		c.schedule(cc, now, cc.writeQ, true)
+	if len(cc.readQ) == 0 {
+		return c.schedule(cc, now, cc.writeQ, true)
 	}
+	return false
+}
+
+// nextWriteDrain is the write-drain hysteresis: drain mode starts when the
+// write queue reaches the 3/4-capacity high watermark and persists until
+// the queue falls to the 1/4-capacity low watermark. Without the low
+// watermark the 3/4 test re-evaluated every cycle made the controller
+// thrash in and out of write mode at the boundary, serving exactly one
+// write per crossing; with it, each crossing drains half the queue in one
+// burst. Stats impact: Writes arrive in longer bursts (better write row
+// locality, fewer read/write turnarounds), so WriteQueue-full
+// backpressure and the RowHits/RowMisses split shift slightly compared to
+// the pre-hysteresis controller. The function is pure so the event-driven
+// clock can predict drain mode without mutating it.
+func nextWriteDrain(drain bool, qlen, cap int) bool {
+	if drain {
+		return qlen > cap/4
+	}
+	return qlen >= cap*3/4
+}
+
+// NextEvent returns the earliest tick >= now at which a Tick call could
+// change controller or DRAM state (issue a command, feed a tracker,
+// start a refresh drain, run the idle-close sweep, or reset the tracker
+// window). The event-driven clock may skip every DRAM cycle strictly
+// before the returned horizon: Tick at those cycles is provably a no-op.
+// The horizon is conservative — waking at it and finding nothing to do is
+// allowed — but never late: no state change can precede it. Callers must
+// not Push requests between computing the horizon and consuming it.
+func (c *Controller) NextEvent(now dram.Tick) dram.Tick {
+	h := c.windowEnd
+	for _, cc := range c.channels {
+		if h <= now {
+			return now
+		}
+		if e := c.channelNextEvent(cc, now); e < h {
+			h = e
+		}
+	}
+	if h < now {
+		h = now
+	}
+	return h
+}
+
+// channelNextEvent mirrors tickChannel's priority steps, returning the
+// earliest tick at which any of them could act.
+func (c *Controller) channelNextEvent(cc *channelCtl, now dram.Tick) dram.Tick {
+	// 1. Refresh drain in progress: REF issues once every bank recovers;
+	// with rows still open, the next drain PRE fires at the earliest tRAS
+	// expiry.
+	if cc.refreshing || cc.ch.RefreshDue(now) {
+		if cc.openBanks == 0 {
+			h := now
+			for b := 0; b < cc.ch.NumBanks(); b++ {
+				if r := cc.ch.Bank(b).ReadyAt(); r > h {
+					h = r
+				}
+			}
+			return h
+		}
+		h := dram.TickMax
+		for b := range cc.banks {
+			if cc.banks[b].openValid {
+				if e := cc.ch.Bank(b).EarliestPrecharge(); e < h {
+					h = e
+				}
+			}
+		}
+		return max(h, now)
+	}
+
+	// Idle channel horizon: the next refresh due time bounds every skip.
+	h := cc.ch.NextRefreshDue()
+
+	// 2. ImPress-N window boundaries of open banks: the Advance feed can
+	// emit (and queue mitigations) exactly at these ticks.
+	if c.isImpressN && cc.openBanks > 0 {
+		for b := range cc.banks {
+			if cc.banks[b].openValid {
+				if e := cc.banks[b].policy.NextEvent(); e < h {
+					h = e
+				}
+			}
+		}
+	}
+
+	// 3. Forced closures. Stale heads (row already closed or re-opened)
+	// are pruned here as well as in tickChannel — they are behaviorally
+	// inert, so the earlier pruning cannot diverge from cycle-accurate
+	// stepping, and it keeps this query O(1) instead of scanning a heap
+	// that holds one entry per ACT of the last tONMax. A live head fires
+	// exactly at its deadline: openLimit >= tRAS guarantees the row is
+	// precharge-legal by then, and heap order makes it the earliest live
+	// deadline.
+	for len(cc.forcedClose) > 0 {
+		ev := cc.forcedClose[0]
+		bank := &cc.banks[ev.bank]
+		if !bank.openValid || bank.actGen != ev.gen {
+			heap.Pop(&cc.forcedClose)
+			continue
+		}
+		if ev.at < h {
+			h = ev.at
+		}
+		break
+	}
+
+	// 3b. The idle-close sweep fires (closing a row or recomputing the
+	// deadline — both state changes) at idleDeadline whenever rows are
+	// open.
+	if c.cfg.IdleCloseAfter > 0 && cc.openBanks > 0 && cc.idleDeadline < h {
+		h = cc.idleDeadline
+	}
+
+	// 4. Mitigation work.
+	for _, b := range cc.mitigBanks {
+		bank := &cc.banks[b]
+		var e dram.Tick
+		switch {
+		case bank.mitigOpen:
+			e = cc.ch.Bank(b).EarliestPrecharge()
+		case len(bank.mitigQ) == 0:
+			continue // stale entry; pruned lazily by mitigationStep
+		case bank.openValid:
+			e = cc.ch.Bank(b).EarliestPrecharge() // demand row eviction
+		default:
+			e = cc.ch.EarliestActivate(now, b)
+		}
+		if e < h {
+			h = e
+		}
+	}
+
+	// 5. RFM.
+	for _, b := range cc.rfmBanks {
+		bank := &cc.banks[b]
+		var e dram.Tick
+		if bank.openValid {
+			e = cc.ch.Bank(b).EarliestPrecharge()
+		} else {
+			e = cc.ch.Bank(b).ReadyAt()
+		}
+		if e < h {
+			h = e
+		}
+	}
+
+	// 6. Demand queues. Write candidates only count when the next Tick
+	// would serve writes; queue lengths cannot change during a skip, so
+	// the prediction is exact.
+	if e := c.queueNextEvent(cc, now, cc.readQ); e < h {
+		h = e
+	}
+	if nextWriteDrain(cc.writeDrain, len(cc.writeQ), c.cfg.WriteQueueCap) || len(cc.readQ) == 0 {
+		if e := c.queueNextEvent(cc, now, cc.writeQ); e < h {
+			h = e
+		}
+	}
+	return max(h, now)
+}
+
+// queueNextEvent returns the earliest tick at which any queued request
+// could make schedule issue a command: a column command once the open row
+// and data bus allow, a conflict PRE once tRAS expires, or an ACT once
+// the bank and sub-channel rate limits allow. Requests parked behind an
+// open mitigation row contribute nothing; the mitigation horizon covers
+// their bank. The result may be earlier than the actual issue tick
+// (FR-FCFS picks one command per cycle and the anti-starvation cap can
+// restrict service to the oldest request) — an early wake-up is a no-op,
+// never a divergence. The scan short-circuits once the horizon reaches
+// now, the floor below which nothing can tighten it.
+func (c *Controller) queueNextEvent(cc *channelCtl, now dram.Tick, q []*Request) dram.Tick {
+	h := dram.TickMax
+	for _, req := range q {
+		b := req.Loc.Bank
+		bank := &cc.banks[b]
+		if bank.mitigOpen {
+			continue
+		}
+		var e dram.Tick
+		if bank.openValid {
+			if bank.openRow == req.Loc.Row {
+				e = max(cc.ch.Bank(b).EarliestColumn(), cc.busFreeAt[b>>5])
+			} else {
+				e = cc.ch.Bank(b).EarliestPrecharge()
+			}
+		} else {
+			e = cc.ch.EarliestActivate(now, b)
+		}
+		if e < h {
+			h = e
+			if h <= now {
+				return h
+			}
+		}
+	}
+	return h
 }
 
 // mitigationStep performs one command of mitigation work; returns true if
@@ -569,6 +824,8 @@ func (c *Controller) issueColumn(cc *channelCtl, req *Request, now dram.Tick, is
 	sub := b >> 5
 	cc.busFreeAt[sub] = now + c.cfg.Timings.TBurst
 	cc.banks[b].lastUse = now
+	c.touchIdleDeadline(cc, now)
+	c.issues++
 	cc.stats.RowHits++
 	if isWrite {
 		cc.stats.Writes++
@@ -583,6 +840,18 @@ func (c *Controller) issueColumn(cc *channelCtl, req *Request, now dram.Tick, is
 	}
 }
 
+// touchIdleDeadline lowers the channel's idle-close bound for a row last
+// used at now. The bound is conservative: a row touched again later
+// leaves an early (no-op) sweep behind, which recomputes the exact
+// deadline.
+func (c *Controller) touchIdleDeadline(cc *channelCtl, now dram.Tick) {
+	if c.cfg.IdleCloseAfter > 0 {
+		if d := now + c.cfg.IdleCloseAfter; d < cc.idleDeadline {
+			cc.idleDeadline = d
+		}
+	}
+}
+
 func (c *Controller) activate(cc *channelCtl, b int, row int64, now dram.Tick, mitigative bool) {
 	cc.ch.Activate(now, b, row, mitigative)
 	bank := &cc.banks[b]
@@ -590,6 +859,7 @@ func (c *Controller) activate(cc *channelCtl, b int, row int64, now dram.Tick, m
 	bank.openRow = row
 	bank.actGen++
 	bank.lastUse = now
+	c.touchIdleDeadline(cc, now)
 	cc.openBanks++
 	heap.Push(&cc.forcedClose, closeEvent{at: now + c.openLimit, bank: b, gen: bank.actGen})
 	if !mitigative {

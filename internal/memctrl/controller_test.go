@@ -228,6 +228,109 @@ func TestPushPanicsWhenFull(t *testing.T) {
 	c.Push(0, &Request{Addr: 0, Loc: loc})
 }
 
+// TestRefreshDrainWithTRASHeldRow is the regression test for the
+// refresh-drain stall fix: a row activated just before REF becomes due
+// cannot precharge until tRAS, so the drain must wait it out — advancing
+// channel time on every drain cycle exactly like the no-open-rows path —
+// and then issue the refresh and resume demand service.
+func TestRefreshDrainWithTRASHeldRow(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	ch := c.Channel(0)
+	tm := dram.DDR5()
+	due := ch.NextRefreshDue()
+	// Run idle until just before the refresh is due.
+	now := dram.Tick(0)
+	for now < due-20*dram.TicksPerDRAMCycle {
+		c.Tick(now)
+		now += dram.TicksPerDRAMCycle
+	}
+	// Open a row: its ACT lands within tRAS of the refresh due time, so
+	// the drain starts while the precharge is still illegal.
+	done := 0
+	c.Push(now, &Request{Addr: 0, Loc: c.Map(0), OnComplete: func(dram.Tick) { done++ }})
+	loc := c.Map(0)
+	opened := false
+	budget := int((tm.TRAS + tm.TRFC + 2000*dram.TicksPerDRAMCycle) / dram.TicksPerDRAMCycle)
+	for i := 0; i < budget; i++ {
+		if _, open := ch.Bank(loc.Bank).OpenRow(); open && now < due {
+			opened = true
+		}
+		c.Tick(now)
+		now += dram.TicksPerDRAMCycle
+	}
+	if !opened {
+		t.Fatal("test setup: row never opened before the refresh due time")
+	}
+	if got := ch.Refreshes(); got == 0 {
+		t.Fatalf("refresh never issued while draining a tRAS-held row (now=%d, due=%d)", now, due)
+	}
+	if done != 1 {
+		t.Fatal("demand read did not complete after the refresh drain")
+	}
+}
+
+// TestWriteDrainHysteresisUnit pins the watermark state machine: drain
+// mode engages at 3/4 capacity and persists down to 1/4 capacity.
+func TestWriteDrainHysteresisUnit(t *testing.T) {
+	const cap = 128
+	if nextWriteDrain(false, cap*3/4-1, cap) {
+		t.Fatal("drain must not engage below the high watermark")
+	}
+	if !nextWriteDrain(false, cap*3/4, cap) {
+		t.Fatal("drain must engage at the high watermark")
+	}
+	if !nextWriteDrain(true, cap*3/4-1, cap) {
+		t.Fatal("drain must persist below the high watermark (no thrash)")
+	}
+	if !nextWriteDrain(true, cap/4+1, cap) {
+		t.Fatal("drain must persist above the low watermark")
+	}
+	if nextWriteDrain(true, cap/4, cap) {
+		t.Fatal("drain must disengage at the low watermark")
+	}
+}
+
+// TestWriteDrainHysteresisDrainsUnderReadPressure reproduces the thrash
+// the hysteresis fixes: with the write queue at the high watermark and
+// reads continuously present, the old cycle-by-cycle 3/4 test served one
+// write, dropped below the watermark and stranded the rest behind the
+// read stream. With hysteresis the controller stays in drain mode until
+// the low watermark, interleaving writes into read gaps.
+func TestWriteDrainHysteresisDrainsUnderReadPressure(t *testing.T) {
+	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	cfg := DefaultConfig(core.NewDesign(core.NoRP), nil, 0)
+	m := DefaultMapper()
+	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
+	bankStride := uint64(m.MOPLines) * 64 * uint64(m.Channels)
+	rowStride := bankStride * uint64(m.BanksPerChannel) * groupsPerRow
+	// Fill channel 0's write queue exactly to the high watermark, spread
+	// over banks and rows.
+	high := cfg.WriteQueueCap * 3 / 4
+	for i := 0; i < high; i++ {
+		addr := uint64(i%16)*bankStride + uint64(i/16)*rowStride
+		c.Push(0, &Request{Addr: addr, Write: true, Loc: c.Map(addr)})
+	}
+	// Keep reads continuously pending on channel 0 while ticking.
+	now := dram.Tick(0)
+	nextRead := 0
+	for i := 0; i < 6000; i++ {
+		if c.PendingReads() < 4 {
+			addr := uint64(16+nextRead%8)*bankStride + uint64(nextRead/8)*rowStride
+			if c.CanPush(c.Map(addr), false) {
+				c.Push(now, &Request{Addr: addr, Loc: c.Map(addr)})
+				nextRead++
+			}
+		}
+		c.Tick(now)
+		now += dram.TicksPerDRAMCycle
+	}
+	low := cfg.WriteQueueCap / 4
+	if got := c.Stats().Writes; got < uint64(high-low) {
+		t.Fatalf("write drain served %d writes under read pressure, want >= %d (high %d -> low %d watermark)",
+			got, high-low, high, low)
+	}
+}
+
 func TestStatsSubRoundTrip(t *testing.T) {
 	a := Stats{Reads: 10, DemandACTs: 5, RowHits: 7}
 	b := Stats{Reads: 4, DemandACTs: 2, RowHits: 3}

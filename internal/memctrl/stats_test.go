@@ -1,0 +1,54 @@
+package memctrl
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStatsAddSubCoverEveryField walks Stats with reflection and fails —
+// naming the field — if Add or Sub drops a counter. Add and Sub are
+// hand-maintained field lists, and a field missing from either silently
+// corrupts warmup-interval accounting (Result.Mem = end.Sub(warmup)) for
+// every experiment; this test makes adding a counter without wiring it
+// through impossible.
+func TestStatsAddSubCoverEveryField(t *testing.T) {
+	var probe Stats
+	v := reflect.ValueOf(&probe).Elem()
+	ty := v.Type()
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %s; this test (and warmup accounting) assumes uint64 counters",
+				ty.Field(i).Name, v.Field(i).Kind())
+		}
+		v.Field(i).SetUint(uint64(1000 + i)) // distinct nonzero per field
+	}
+
+	var sum Stats
+	sum.Add(probe)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < sv.NumField(); i++ {
+		if got, want := sv.Field(i).Uint(), v.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Add drops field %s (got %d, want %d)", ty.Field(i).Name, got, want)
+		}
+	}
+
+	// Round trip, field by field: warmup accounting computes
+	// end.Sub(base), so a field missing from Sub's literal leaves the
+	// base value subtracted out — diff comes back 0 instead of the probe
+	// value. (Checking x.Sub(x) == 0 would NOT catch a dropped field:
+	// zero is exactly what a dropped field produces.)
+	var base Stats
+	bv := reflect.ValueOf(&base).Elem()
+	for i := 0; i < bv.NumField(); i++ {
+		bv.Field(i).SetUint(uint64(7 * (i + 1)))
+	}
+	end := base
+	end.Add(probe)
+	dv := reflect.ValueOf(end.Sub(base))
+	for i := 0; i < dv.NumField(); i++ {
+		if got, want := dv.Field(i).Uint(), v.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Sub drops field %s ((base+probe).Sub(base) = %d, want %d)",
+				ty.Field(i).Name, got, want)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"impress/internal/cache"
 	"impress/internal/core"
@@ -32,6 +33,29 @@ const (
 	TrackerMINT     TrackerKind = "mint"
 )
 
+// ClockMode selects the stepping strategy of the top-level run loop.
+type ClockMode int
+
+const (
+	// ClockEventDriven (the default) advances time directly to the next
+	// event horizon when every component is provably idle: each layer
+	// exposes a NextEvent(now) bound (dram bank/channel timing,
+	// memctrl.Controller.NextEvent, cpu.Core.SkipHint, the simulator's
+	// hit queue), and whole macro cycles whose every step would be a
+	// no-op are applied wholesale. Results are bit-identical to
+	// ClockCycleAccurate — the skip fires only when provably nothing can
+	// change besides the clocks themselves.
+	ClockEventDriven ClockMode = iota
+	// ClockCycleAccurate ticks every CPU and DRAM cycle (the reference
+	// semantics).
+	ClockCycleAccurate
+	// ClockLockstep is the debug mode: it runs an event-driven simulator
+	// and a cycle-accurate shadow in tandem and panics on the first
+	// macro cycle where their states diverge. ~2x the cost of
+	// ClockCycleAccurate; use it to localize clocking bugs.
+	ClockLockstep
+)
+
 // Config describes one simulation run.
 type Config struct {
 	Workload trace.Workload
@@ -52,6 +76,11 @@ type Config struct {
 
 	// MaxCycles bounds the run as a safety net (0 = 100x run budget).
 	MaxCycles int64
+
+	// Clock selects the stepping strategy; the zero value is
+	// ClockEventDriven, which is bit-identical to ClockCycleAccurate and
+	// skips idle cycles.
+	Clock ClockMode
 }
 
 // DefaultConfig returns the Table II system around the given workload and
@@ -138,6 +167,21 @@ type simulator struct {
 	now    dram.Tick
 	tick   int64
 	rotate int
+
+	// memVersion implements cpu.MemorySystem.Version: it moves whenever
+	// state that could flip a CanAccept verdict changes (queue pops,
+	// line fills, MSHR allocation).
+	memVersion uint64
+
+	// mcBusy and mcHorizon cache the controller's event horizon: while
+	// the controller reports inactive Ticks, DRAM cycles before
+	// mcHorizon are provably no-ops and dramStep skips them. Any Push
+	// sets mcBusy so the next DRAM cycle ticks for real.
+	mcBusy    bool
+	mcHorizon dram.Tick
+
+	// shadow is the cycle-accurate twin driven in ClockLockstep mode.
+	shadow *simulator
 }
 
 type mshr struct {
@@ -160,9 +204,17 @@ func newSimulator(cfg Config) *simulator {
 	rng := stats.NewRand(cfg.Seed)
 	factory := trackerFactory(cfg, rng)
 	s.mc = memctrl.New(memctrl.DefaultConfig(cfg.Design, factory, cfg.RFMTH))
+	coreCfg := cfg.CPU
+	coreCfg.NoFastPath = cfg.Clock == ClockCycleAccurate
 	for i := 0; i < cfg.Cores; i++ {
 		gen := cfg.Workload.NewGenerator(i, cfg.Seed)
-		s.cores = append(s.cores, cpu.New(i, cfg.CPU, gen, s))
+		s.cores = append(s.cores, cpu.New(i, coreCfg, gen, s))
+	}
+	s.mcBusy = true // force the first DRAM cycle to tick
+	if cfg.Clock == ClockLockstep {
+		shadowCfg := cfg
+		shadowCfg.Clock = ClockCycleAccurate
+		s.shadow = newSimulator(shadowCfg)
 	}
 	return s
 }
@@ -193,6 +245,10 @@ func trackerFactory(cfg Config, rng *stats.Rand) memctrl.TrackerFactory {
 		panic(fmt.Sprintf("sim: unknown tracker %q", cfg.Tracker))
 	}
 }
+
+// Version implements cpu.MemorySystem: cores cache CanAccept-blocked
+// stall verdicts and re-evaluate only when this moves.
+func (s *simulator) Version() uint64 { return s.memVersion }
 
 // CanAccept implements cpu.MemorySystem.
 func (s *simulator) CanAccept(addr uint64, write bool) bool {
@@ -232,6 +288,7 @@ func (s *simulator) Access(op *cpu.MemOp) {
 		m.waiters = append(m.waiters, op)
 	}
 	s.mshrs[line] = m
+	s.memVersion++ // a new MSHR can unblock merges
 	addr := lineAddr(line)
 	req := &memctrl.Request{
 		Addr: addr,
@@ -241,6 +298,7 @@ func (s *simulator) Access(op *cpu.MemOp) {
 		},
 	}
 	s.mc.Push(s.now, req)
+	s.mcBusy = true
 }
 
 func lineAddr(line uint64) uint64 { return line * trace.LineSize }
@@ -253,6 +311,7 @@ func (s *simulator) fill(m *mshr) {
 			Addr: victim.Addr, Write: true, Loc: s.mc.Map(victim.Addr),
 		})
 	}
+	s.memVersion++ // the fill (and freed MSHR) can unblock cores
 	for _, op := range m.waiters {
 		op.Complete()
 	}
@@ -266,6 +325,7 @@ func (s *simulator) drainWritebacks() {
 			break // FIFO: head-of-line blocking keeps order and work bounded
 		}
 		s.mc.Push(s.now, req)
+		s.mcBusy = true
 		n++
 	}
 	if n > 0 {
@@ -295,9 +355,36 @@ func (s *simulator) cpuStep(t dram.Tick) {
 
 func (s *simulator) dramStep(t dram.Tick) {
 	s.now = t
-	s.drainWritebacks()
-	s.mc.Tick(t)
+	if len(s.pendingWB) > 0 {
+		s.drainWritebacks()
+	}
+	if !s.eventClock() {
+		// Reference mode: tick unconditionally and skip the horizon and
+		// version bookkeeping — nothing reads either (cores run with
+		// NoFastPath), and computing them would bill the cycle-accurate
+		// baseline for event-clock machinery it does not use.
+		s.mc.Tick(t)
+		return
+	}
+	if !s.mcBusy && t < s.mcHorizon {
+		return // provably a no-op DRAM cycle (Controller.NextEvent)
+	}
+	issuesBefore := s.mc.Issues()
+	if s.mc.Tick(t) {
+		s.mcBusy = true
+	} else {
+		s.mcBusy = false
+		// Events strictly after t (this cycle just proved a no-op).
+		s.mcHorizon = s.mc.NextEvent(t + 1)
+	}
+	if s.mc.Issues() != issuesBefore {
+		s.memVersion++ // queue pops can unblock backpressured cores
+	}
 }
+
+// eventClock reports whether idle skipping is enabled (everything except
+// the cycle-accurate reference mode).
+func (s *simulator) eventClock() bool { return s.cfg.Clock != ClockCycleAccurate }
 
 // step advances one 6-tick macro cycle: 3 CPU cycles (4 GHz) and 2 DRAM
 // cycles (2.66 GHz).
@@ -309,6 +396,176 @@ func (s *simulator) step() {
 	s.dramStep(base + 3)
 	s.cpuStep(base + 4)
 	s.tick += 6
+}
+
+// advance performs one loop iteration: under the event-driven clock it
+// first fast-forwards over as many whole macro cycles as are provably
+// no-ops, then executes one macro cycle normally. retireTarget, when
+// positive, is the caller's loop-exit retirement threshold: the skip
+// stops before any core could reach it, so the caller observes the exact
+// boundary cycle-accurate stepping would.
+func (s *simulator) advance(retireTarget int64) {
+	var k int64
+	if s.cfg.Clock != ClockCycleAccurate {
+		if k = s.skippableMacroCycles(retireTarget); k > 0 {
+			s.applySkip(k)
+		}
+	}
+	s.step()
+	if s.shadow != nil {
+		for i := int64(0); i <= k; i++ {
+			s.shadow.step()
+		}
+		s.assertLockstep(k)
+	}
+}
+
+// skippableMacroCycles returns how many whole macro cycles can be
+// fast-forwarded from the current macro boundary such that every skipped
+// CPU step and DRAM tick is provably a no-op: every core is stalled or in
+// a closed-form fetch/retire regime (cpu.SkipHint), no LLC-hit completion
+// matures, no pending writeback can enter the controller, and the memory
+// controller's NextEvent horizon is not reached. Zero means "step
+// normally" and is always safe — the skip is an optimization gate, never
+// a semantic one.
+func (s *simulator) skippableMacroCycles(retireTarget int64) int64 {
+	// Cheap rejections first: a busy controller must tick next cycle,
+	// and a pushable writeback needs the next macro to run.
+	if s.mcBusy {
+		return 0
+	}
+	base := dram.Tick(s.tick)
+	if len(s.pendingWB) > 0 && s.mc.CanPush(s.pendingWB[0].Loc, true) {
+		return 0 // the next DRAM step drains a writeback
+	}
+	maxSteps := int64(math.MaxInt64) // bound in CPU steps
+	width := int64(s.cfg.CPU.Width)
+	for _, c := range s.cores {
+		h := c.CurrentHint()
+		if !h.Viable {
+			return 0
+		}
+		if h.Steps < maxSteps {
+			maxSteps = h.Steps
+		}
+		if retireTarget > 0 && h.RetirePerStep > 0 {
+			if r := c.Retired(); r < retireTarget {
+				// Stop strictly before the loop-exit predicate could
+				// flip at a skipped macro boundary.
+				toTarget := (retireTarget - r + width - 1) / width
+				if toTarget-1 < maxSteps {
+					maxSteps = toTarget - 1
+				}
+			}
+		}
+	}
+	k := maxSteps / 3 // macro cycles: 3 CPU steps each
+	if k <= 0 {
+		return 0
+	}
+	// DRAM ticks run at base, base+3 (mod 6); none of the skipped ones
+	// may reach the controller's cached event horizon.
+	if km := (int64(s.mcHorizon-base) + 2) / 6; km < k {
+		k = km
+	}
+	// LLC-hit completions maturing inside the window are absorbed by
+	// applySkip — except for a core whose regime a completion could
+	// change (see cpu.WakesOnCompletion): CPU steps run at base, base+2,
+	// base+4 (mod 6), and no skipped step may reach that entry's ready
+	// tick.
+	for i := range s.hitQ {
+		e := &s.hitQ[i]
+		if e.ready > base+dram.Tick(6*k-2) {
+			break // beyond the window (FIFO: later entries are too)
+		}
+		if e.op.Core().WakesOnCompletion() {
+			if kh := (int64(e.ready-base) + 1) / 6; kh < k {
+				k = kh
+			}
+			break
+		}
+	}
+	if k < 0 {
+		return 0
+	}
+	return k
+}
+
+// applySkip fast-forwards k whole macro cycles: cores advance 3k CPU
+// cycles under their cached hints, and the stepping-order rotation
+// advances as if cpuStep had run 3k times. Nothing else holds
+// time-dependent state — the memory controller, DRAM banks, LLC, hit
+// queue and writeback queue are all untouched because the horizon proved
+// they would be.
+func (s *simulator) applySkip(k int64) {
+	steps := 3 * k
+	for _, c := range s.cores {
+		c.Skip(steps)
+	}
+	s.rotate += int(steps)
+	// Absorb LLC-hit completions that matured inside the window: their
+	// cores' regimes provably ignore them until a boundary at or after
+	// the skip end (skippableMacroCycles stopped short of any that
+	// would not), so completing them here is indistinguishable from
+	// completing them at their exact CPU step.
+	end := dram.Tick(s.tick) + dram.Tick(6*k-2)
+	n := 0
+	for n < len(s.hitQ) && s.hitQ[n].ready <= end {
+		s.hitQ[n].op.Complete()
+		n++
+	}
+	if n > 0 {
+		s.hitQ = s.hitQ[n:]
+	}
+	s.tick += 6 * k
+}
+
+// assertLockstep compares the event-driven simulator against its
+// cycle-accurate shadow after both advanced through the same macro
+// cycles; any mismatch is a clocking bug, reported with enough state to
+// localize it.
+func (s *simulator) assertLockstep(skipped int64) {
+	fail := func(what string, ev, ca any) {
+		panic(fmt.Sprintf(
+			"sim: lockstep divergence after tick %d (skipped %d macro cycles): %s: event-driven %v vs cycle-accurate %v",
+			s.tick, skipped, what, ev, ca))
+	}
+	sh := s.shadow
+	if s.tick != sh.tick {
+		fail("tick", s.tick, sh.tick)
+	}
+	for i, c := range s.cores {
+		cs := sh.cores[i]
+		if c.Cycles() != cs.Cycles() {
+			fail(fmt.Sprintf("core %d cycles", i), c.Cycles(), cs.Cycles())
+		}
+		if c.Fetched() != cs.Fetched() {
+			fail(fmt.Sprintf("core %d fetched", i), c.Fetched(), cs.Fetched())
+		}
+		if c.Retired() != cs.Retired() {
+			fail(fmt.Sprintf("core %d retired", i), c.Retired(), cs.Retired())
+		}
+		if c.Outstanding() != cs.Outstanding() {
+			fail(fmt.Sprintf("core %d outstanding", i), c.Outstanding(), cs.Outstanding())
+		}
+		if c.FinishCycle() != cs.FinishCycle() {
+			fail(fmt.Sprintf("core %d finish cycle", i), c.FinishCycle(), cs.FinishCycle())
+		}
+	}
+	if len(s.hitQ) != len(sh.hitQ) {
+		fail("hit-queue length", len(s.hitQ), len(sh.hitQ))
+	}
+	if len(s.pendingWB) != len(sh.pendingWB) {
+		fail("pending writebacks", len(s.pendingWB), len(sh.pendingWB))
+	}
+	if ev, ca := s.mc.Stats(), sh.mc.Stats(); ev != ca {
+		fail("memory stats", fmt.Sprintf("%+v", ev), fmt.Sprintf("%+v", ca))
+	}
+	if s.llc.Hits() != sh.llc.Hits() || s.llc.Misses() != sh.llc.Misses() {
+		fail("LLC hits/misses",
+			fmt.Sprintf("%d/%d", s.llc.Hits(), s.llc.Misses()),
+			fmt.Sprintf("%d/%d", sh.llc.Hits(), sh.llc.Misses()))
+	}
 }
 
 func (s *simulator) runUntilRetired(target int64) {
@@ -323,7 +580,7 @@ func (s *simulator) runUntilRetired(target int64) {
 		if done {
 			return
 		}
-		s.step()
+		s.advance(target)
 	}
 }
 
@@ -336,6 +593,12 @@ func (s *simulator) run() Result {
 	for _, c := range s.cores {
 		c.ResetStats()
 		c.SetBudget(s.cfg.RunInstructions)
+	}
+	if s.shadow != nil {
+		for _, c := range s.shadow.cores {
+			c.ResetStats()
+			c.SetBudget(s.cfg.RunInstructions)
+		}
 	}
 	maxCycles := s.cfg.MaxCycles
 	if maxCycles == 0 {
@@ -356,7 +619,7 @@ func (s *simulator) run() Result {
 		if s.cores[0].Cycles()-startCycle > maxCycles {
 			panic(fmt.Sprintf("sim: %s exceeded cycle bound (deadlock?)", s.cfg.Workload.Name))
 		}
-		s.step()
+		s.advance(0)
 	}
 
 	res := Result{
