@@ -7,6 +7,12 @@
 //	impress-sim -workload copy -tracker graphene -design impress-p
 //	impress-sim -workload mcf -tracker para -design express -tmro 96
 //	impress-sim -workload add -tracker mint -design impress-n -alpha 0.35 -rfmth 60
+//	impress-sim -workload mix:mcf,gcc,copy,attack:hammer -tracker graphene -design impress-p
+//	impress-sim -trace corun.trace -tracker graphene -design impress-p
+//
+// -workload accepts the 20 built-in names, "attack:<pattern>" adversarial
+// workloads and per-core "mix:..." co-run specs; -trace replays a file
+// recorded with impress-trace instead of running live generators.
 package main
 
 import (
@@ -14,27 +20,16 @@ import (
 	"fmt"
 	"os"
 
-	"impress/internal/core"
-	"impress/internal/dram"
-	"impress/internal/sim"
+	"impress/internal/simcli"
 	"impress/internal/trace"
 )
 
 func main() {
-	workload := flag.String("workload", "copy", "workload name (see -list)")
+	workload := flag.String("workload", "copy",
+		"workload spec: a built-in name (see -list), mix:a,b,... or attack:<pattern>")
+	traceFile := flag.String("trace", "", "replay this recorded trace file instead of -workload")
 	list := flag.Bool("list", false, "list available workloads and exit")
-	trackerFlag := flag.String("tracker", "graphene", "tracker: none, graphene, para, mithril, mint")
-	designFlag := flag.String("design", "no-rp", "defense: no-rp, express, impress-n, impress-p")
-	alpha := flag.Float64("alpha", 1.0, "CLM alpha for express/impress-n threshold retuning")
-	tmroNs := flag.Int64("tmro", 0, "ExPress tMRO in ns (default tRAS+tRC)")
-	fracBits := flag.Int("fracbits", 7, "ImPress-P fractional EACT bits")
-	trh := flag.Float64("trh", 4000, "design Rowhammer threshold")
-	rfmth := flag.Int("rfmth", 80, "RFM threshold (in-DRAM trackers)")
-	warmup := flag.Int64("warmup", 100_000, "warmup instructions per core")
-	run := flag.Int64("instructions", 500_000, "measured instructions per core")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	clock := flag.String("clock", "event",
-		"clocking: event (skip idle cycles), cycle (tick every cycle), lockstep (cross-check both)")
+	simFlags := simcli.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -45,82 +40,35 @@ func main() {
 			}
 			fmt.Printf("%-12s %s\n", w.Name, class)
 		}
+		fmt.Println("(also: mix:<entry>,<entry>,... per-core co-runs and attack:<pattern> aggressors)")
 		return
 	}
 
-	w, err := trace.WorkloadByName(*workload)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	design, err := parseDesign(*designFlag, *alpha, *tmroNs, *fracBits)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-
-	cfg := sim.DefaultConfig(w, design, sim.TrackerKind(*trackerFlag))
-	cfg.DesignTRH = *trh
-	cfg.RFMTH = *rfmth
-	cfg.WarmupInstructions = *warmup
-	cfg.RunInstructions = *run
-	cfg.Seed = *seed
-	switch *clock {
-	case "event":
-		cfg.Clock = sim.ClockEventDriven
-	case "cycle":
-		cfg.Clock = sim.ClockCycleAccurate
-	case "lockstep":
-		cfg.Clock = sim.ClockLockstep
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -clock %q (want event, cycle or lockstep)\n", *clock)
-		os.Exit(2)
-	}
-
-	res := sim.Run(cfg)
-	m := res.Mem
-	fmt.Printf("workload:        %s\n", res.Workload)
-	fmt.Printf("design:          %s\n", design.Name())
-	fmt.Printf("tracker:         %s (tuned to T*=%.0f)\n", *trackerFlag, design.TrackerTRH(*trh))
-	fmt.Printf("IPC (sum/core):  %.3f", res.WeightedIPCSum)
-	for _, ipc := range res.IPC {
-		fmt.Printf(" %.3f", ipc)
-	}
-	fmt.Println()
-	fmt.Printf("cycles:          %d\n", res.Cycles)
-	fmt.Printf("LLC hit rate:    %.3f\n", res.LLCHitRate)
-	rbTotal := m.RowHits + m.RowMisses
-	if rbTotal > 0 {
-		fmt.Printf("row-buffer hits: %.3f (%d hits / %d misses / %d conflicts)\n",
-			float64(m.RowHits)/float64(rbTotal), m.RowHits, m.RowMisses, m.RowConflicts)
-	}
-	fmt.Printf("demand ACTs:     %d\n", m.DemandACTs)
-	fmt.Printf("mitigative ACTs: %d (%d mitigations)\n", m.MitigativeACTs, m.Mitigations)
-	fmt.Printf("synthetic ACTs:  %d (ImPress window/EACT events)\n", m.SyntheticACTs)
-	fmt.Printf("forced closures: %d (tMRO/tONMax)\n", m.ForcedClosures)
-	fmt.Printf("refreshes/RFMs:  %d / %d\n", m.Refreshes, m.RFMs)
-	if m.Reads > 0 {
-		avgNs := float64(m.ReadLatencySum) / float64(m.Reads) / float64(dram.TicksPerNs)
-		fmt.Printf("avg read lat:    %.1f ns\n", avgNs)
-	}
-}
-
-func parseDesign(name string, alpha float64, tmroNs int64, fracBits int) (core.Design, error) {
-	var d core.Design
-	switch name {
-	case "no-rp":
-		d = core.NewDesign(core.NoRP)
-	case "express":
-		d = core.NewDesign(core.ExPress).WithAlpha(alpha)
-		if tmroNs > 0 {
-			d = d.WithTMRO(dram.Ns(tmroNs))
+	var w trace.Workload
+	if *traceFile == "" {
+		var err error
+		if w, err = trace.WorkloadByName(*workload); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-	case "impress-n":
-		d = core.NewDesign(core.ImpressN).WithAlpha(alpha)
-	case "impress-p":
-		d = core.NewDesign(core.ImpressP).WithFracBits(fracBits)
-	default:
-		return d, fmt.Errorf("unknown design %q", name)
 	}
-	return d, d.Validate()
+	cfg, design, err := simFlags.Config(w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *traceFile != "" {
+		if _, err := simFlags.ApplyTrace(&cfg, flag.CommandLine, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	res, err := simcli.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload:        %s\n", res.Workload)
+	simcli.PrintResult(os.Stdout, res, design, simFlags.Tracker, simFlags.TRH)
 }

@@ -1,50 +1,236 @@
-// Command impress-trace inspects the synthetic workload generators: it
-// drains a sample from each workload and prints the measured memory
-// intensity, write share, sequential locality, MOP-group locality and
-// footprint — the calibration targets behind the paper's SPEC/STREAM
-// split (DESIGN.md §1).
+// Command impress-trace works with workload traces: it characterizes the
+// synthetic generators, records any workload — including arbitrary
+// per-core mixes with attack-pattern aggressor cores — to a portable
+// binary trace file, inspects trace files, and replays them through the
+// full performance simulator (DESIGN.md §7).
 //
 // Usage:
 //
-//	impress-trace [-n 100000] [-workload copy]
+//	impress-trace [characterize] [-n 100000] [-workload copy]
+//	impress-trace record -workload mcf -o mcf.trace [-cores 8] [-n 250000] [-seed 1]
+//	impress-trace record -workload mix:mcf,gcc,copy,attack:hammer -o corun.trace
+//	impress-trace info [-sample 100000] mcf.trace
+//	impress-trace replay [-tracker graphene] [-design impress-p] [-clock event] mcf.trace
+//
+// A replayed run is bit-identical to the live run of the recorded
+// workload under the same simulation flags (the replay-equivalence
+// contract), provided the recording's per-core request budget covers the
+// whole run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
+	"impress/internal/simcli"
 	"impress/internal/trace"
 )
 
 func main() {
-	n := flag.Int("n", 100_000, "requests to sample per workload")
-	name := flag.String("workload", "", "single workload to characterize (default: all)")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommand and returns the process exit code; it is
+// the testable seam for the CLI.
+func run(args []string, stdout, stderr io.Writer) int {
+	sub := "characterize"
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		sub = args[0]
+		args = args[1:]
+	}
+	switch sub {
+	case "characterize":
+		return runCharacterize(args, stdout, stderr)
+	case "record":
+		return runRecord(args, stdout, stderr)
+	case "info":
+		return runInfo(args, stdout, stderr)
+	case "replay":
+		return runReplay(args, stdout, stderr)
+	case "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "impress-trace: unknown subcommand %q\n\n", sub)
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `impress-trace <subcommand> [flags]
+
+subcommands:
+  characterize  measure intensity/locality of workload generators (default)
+  record        record a workload's per-core request streams to a trace file
+  info          print a trace file's header and characterization
+  replay        run a full simulation driven by a recorded trace file
+  help          print this help
+
+Workload specs accepted everywhere a workload name is: the 20 built-in
+names (impress-sim -list), "attack:<pattern>" adversarial workloads
+(hammer, rowpress, decoy, manysided, interleaved) and per-core co-run
+mixes "mix:<entry>,<entry>,..." such as mix:mcf,gcc,copy,attack:hammer.
+`)
+}
+
+// newFlagSet builds a flag set that reports errors to stderr without
+// exiting the process.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+func runCharacterize(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("impress-trace characterize", stderr)
+	n := fs.Int("n", 100_000, "requests to sample per workload")
+	name := fs.String("workload", "", "single workload to characterize (default: all built-ins)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var workloads []trace.Workload
 	if *name != "" {
 		w, err := trace.WorkloadByName(*name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		workloads = []trace.Workload{w}
 	} else {
 		workloads = trace.Workloads()
 	}
 
-	fmt.Printf("%-12s %-6s %9s %8s %6s %6s %10s\n",
+	fmt.Fprintf(stdout, "%-12s %-6s %9s %8s %6s %6s %10s\n",
 		"workload", "class", "acc/KI", "writes", "seq", "MOP", "footprint")
 	for _, w := range workloads {
 		c := trace.Characterize(w.NewGenerator(0, *seed), *n)
-		class := "spec"
-		if w.Stream {
-			class = "stream"
-		}
-		fmt.Printf("%-12s %-6s %9.1f %7.0f%% %5.0f%% %5.0f%% %8d MB\n",
-			w.Name, class, c.AccessesPerKI, 100*c.WriteFraction,
+		fmt.Fprintf(stdout, "%-12s %-6s %9.1f %7.0f%% %5.0f%% %5.0f%% %8d MB\n",
+			w.Name, class(w), c.AccessesPerKI, 100*c.WriteFraction,
 			100*c.SeqFraction, 100*c.MOPGroupHitFraction, c.FootprintBytes>>20)
 	}
+	return 0
+}
+
+func class(w trace.Workload) string {
+	if w.Stream {
+		return "stream"
+	}
+	return "spec"
+}
+
+func runRecord(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("impress-trace record", stderr)
+	name := fs.String("workload", "", "workload spec to record (required)")
+	out := fs.String("o", "", "output trace file (required)")
+	cores := fs.Int("cores", 8, "cores to record")
+	n := fs.Int("n", 250_000, "requests to record per core (must cover the replayed run)")
+	seed := fs.Uint64("seed", 1, "generator seed (replays must simulate with the same seed)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *name == "" || *out == "" {
+		fmt.Fprintln(stderr, "impress-trace record: -workload and -o are required")
+		return 2
+	}
+	if *cores <= 0 || *n <= 0 {
+		fmt.Fprintln(stderr, "impress-trace record: -cores and -n must be positive")
+		return 2
+	}
+	w, err := trace.WorkloadByName(*name)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	t := trace.Record(w, *cores, *n, *seed)
+	if err := t.WriteFile(*out); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "recorded %s: %d cores x %d requests, %d bytes -> %s\n",
+		t.Name, len(t.PerCore), *n, st.Size(), *out)
+	return 0
+}
+
+func runInfo(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("impress-trace info", stderr)
+	sample := fs.Int("sample", 100_000, "max requests to characterize per core")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "impress-trace info: exactly one trace file expected")
+		return 2
+	}
+	t, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "name:      %s\n", t.Name)
+	fmt.Fprintf(stdout, "class:     %s\n", class(trace.Workload{Stream: t.Stream}))
+	fmt.Fprintf(stdout, "seed:      %d\n", t.Seed)
+	fmt.Fprintf(stdout, "line size: %d B\n", t.LineSize)
+	fmt.Fprintf(stdout, "cores:     %d\n", len(t.PerCore))
+	fmt.Fprintf(stdout, "requests:  %d total\n", t.Requests())
+	w, err := t.Workload()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	for coreID, reqs := range t.PerCore {
+		n := min(*sample, len(reqs))
+		if n == 0 {
+			fmt.Fprintf(stdout, "core %d: empty\n", coreID)
+			continue
+		}
+		c := trace.Characterize(w.NewGenerator(coreID, t.Seed), n)
+		fmt.Fprintf(stdout, "core %d: %d requests, %.1f acc/KI, %.0f%% writes, %.0f%% sequential, %d MB footprint\n",
+			coreID, len(reqs), c.AccessesPerKI, 100*c.WriteFraction, 100*c.SeqFraction,
+			c.FootprintBytes>>20)
+	}
+	return 0
+}
+
+func runReplay(args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("impress-trace replay", stderr)
+	simFlags := simcli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "impress-trace replay: exactly one trace file expected")
+		return 2
+	}
+	cfg, design, err := simFlags.Config(trace.Workload{})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	t, err := simFlags.ApplyTrace(&cfg, fs, fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	// simcli.Run converts panics — e.g. a recording too short for the
+	// requested run — into a clean CLI error.
+	res, err := simcli.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "trace:           %s (%d cores, seed %d)\n", t.Name, len(t.PerCore), t.Seed)
+	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)
+	return 0
 }

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"impress/internal/core"
+	"impress/internal/sim"
+	"impress/internal/trace"
+)
+
+// cli invokes the command in-process and captures its output.
+func cli(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut strings.Builder
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestUnknownSubcommandFails(t *testing.T) {
+	code, _, stderr := cli(t, "frobnicate")
+	if code == 0 {
+		t.Fatal("unknown subcommand must exit non-zero")
+	}
+	if !strings.Contains(stderr, "frobnicate") {
+		t.Fatalf("error does not name the bad subcommand: %q", stderr)
+	}
+}
+
+func TestUnknownWorkloadFails(t *testing.T) {
+	for _, args := range [][]string{
+		{"record", "-workload", "nope", "-o", filepath.Join(t.TempDir(), "x.trace")},
+		{"record", "-workload", "mix:mcf,bogus", "-o", filepath.Join(t.TempDir(), "x.trace")},
+		{"characterize", "-workload", "attack:bogus"},
+	} {
+		code, _, stderr := cli(t, args...)
+		if code == 0 {
+			t.Errorf("%v: must exit non-zero", args)
+		}
+		if stderr == "" {
+			t.Errorf("%v: no diagnostic on stderr", args)
+		}
+	}
+}
+
+func TestUnknownFlagFails(t *testing.T) {
+	for _, sub := range []string{"characterize", "record", "info", "replay"} {
+		code, _, _ := cli(t, sub, "-definitely-not-a-flag")
+		if code == 0 {
+			t.Errorf("%s: unknown flag must exit non-zero", sub)
+		}
+	}
+}
+
+func TestRecordRequiresFlags(t *testing.T) {
+	if code, _, _ := cli(t, "record", "-workload", "mcf"); code == 0 {
+		t.Error("record without -o must fail")
+	}
+	if code, _, _ := cli(t, "record", "-o", "x.trace"); code == 0 {
+		t.Error("record without -workload must fail")
+	}
+}
+
+// TestRecordInfoAgree records a co-run mix and checks info reports the
+// same header fields the recording was made with.
+func TestRecordInfoAgree(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corun.trace")
+	const spec = "mix:mcf,copy,attack:hammer"
+	code, stdout, stderr := cli(t, "record",
+		"-workload", spec, "-cores", "3", "-n", "500", "-seed", "9", "-o", path)
+	if code != 0 {
+		t.Fatalf("record failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, spec) || !strings.Contains(stdout, "3 cores x 500 requests") {
+		t.Fatalf("record summary wrong: %q", stdout)
+	}
+
+	code, stdout, stderr = cli(t, "info", path)
+	if code != 0 {
+		t.Fatalf("info failed (%d): %s", code, stderr)
+	}
+	for _, want := range []string{
+		"name:      " + spec,
+		"seed:      9",
+		"line size: 64 B",
+		"cores:     3",
+		"requests:  1500 total",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("info output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestInfoMissingFileFails(t *testing.T) {
+	code, _, stderr := cli(t, "info", filepath.Join(t.TempDir(), "absent.trace"))
+	if code == 0 || stderr == "" {
+		t.Fatalf("info on a missing file must fail with a diagnostic (%d, %q)", code, stderr)
+	}
+}
+
+// TestReplayTruncatedFileFailsCleanly corrupts a valid recording by
+// truncation and checks replay reports an error instead of panicking or
+// simulating garbage.
+func TestReplayTruncatedFileFailsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gcc.trace")
+	if code, _, stderr := cli(t, "record", "-workload", "gcc", "-cores", "2", "-n", "2000", "-o", path); code != 0 {
+		t.Fatalf("record failed: %s", stderr)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.trace")
+	if err := os.WriteFile(trunc, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := cli(t, "replay", "-warmup", "100", "-instructions", "500", trunc)
+	if code == 0 {
+		t.Fatal("replaying a truncated trace must fail")
+	}
+	if !strings.Contains(stderr, "truncated") {
+		t.Fatalf("diagnostic does not mention truncation: %q", stderr)
+	}
+}
+
+// TestReplayExhaustedRecordingFailsCleanly replays a recording that is
+// too short for the requested run: the CLI must turn the replay
+// generator's exhaustion panic into a clean error exit.
+func TestReplayExhaustedRecordingFailsCleanly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "short.trace")
+	if code, _, stderr := cli(t, "record", "-workload", "copy", "-cores", "2", "-n", "50", "-o", path); code != 0 {
+		t.Fatalf("record failed: %s", stderr)
+	}
+	code, _, stderr := cli(t, "replay", "-warmup", "10000", "-instructions", "50000", path)
+	if code == 0 {
+		t.Fatal("replaying an exhausted recording must fail")
+	}
+	if !strings.Contains(stderr, "exhausted") {
+		t.Fatalf("diagnostic does not explain the exhaustion: %q", stderr)
+	}
+}
+
+// TestReplayMatchesLiveRun is the CLI half of the acceptance criterion:
+// record -workload mcf, replay the file, and the printed performance
+// summary must match a live sim.Run of the same configuration exactly, in
+// both clock modes.
+func TestReplayMatchesLiveRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mcf.trace")
+	if code, _, stderr := cli(t, "record", "-workload", "mcf", "-cores", "2", "-n", "4000", "-o", path); code != 0 {
+		t.Fatalf("record failed: %s", stderr)
+	}
+	for _, clock := range []string{"event", "cycle"} {
+		code, stdout, stderr := cli(t, "replay",
+			"-warmup", "2000", "-instructions", "10000", "-clock", clock, path)
+		if code != 0 {
+			t.Fatalf("replay (%s) failed: %s", clock, stderr)
+		}
+
+		w, err := trace.WorkloadByName("mcf")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sim.DefaultConfig(w, core.NewDesign(core.NoRP), sim.TrackerGraphene)
+		cfg.Cores = 2
+		cfg.WarmupInstructions = 2000
+		cfg.RunInstructions = 10_000
+		if clock == "cycle" {
+			cfg.Clock = sim.ClockCycleAccurate
+		}
+		live := sim.Run(cfg)
+
+		ipcLine := fmt.Sprintf("IPC (sum/core):  %.3f", live.WeightedIPCSum)
+		for _, ipc := range live.IPC {
+			ipcLine += fmt.Sprintf(" %.3f", ipc)
+		}
+		for _, want := range []string{
+			ipcLine,
+			fmt.Sprintf("cycles:          %d", live.Cycles),
+			fmt.Sprintf("demand ACTs:     %d", live.Mem.DemandACTs),
+		} {
+			if !strings.Contains(stdout, want) {
+				t.Errorf("replay (%s) output missing %q:\n%s", clock, want, stdout)
+			}
+		}
+	}
+}
+
+// TestReplayUsesRecordedSeed checks the CLI honors the trace header's
+// seed by default: a recording made at -seed 9 replays bit-identically
+// to the live seed-9 run under a randomized tracker without the user
+// repeating -seed on the replay command line.
+func TestReplayUsesRecordedSeed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seeded.trace")
+	if code, _, stderr := cli(t, "record", "-workload", "mcf", "-cores", "2", "-n", "4000", "-seed", "9", "-o", path); code != 0 {
+		t.Fatalf("record failed: %s", stderr)
+	}
+	code, stdout, stderr := cli(t, "replay",
+		"-tracker", "para", "-warmup", "2000", "-instructions", "10000", path)
+	if code != 0 {
+		t.Fatalf("replay failed: %s", stderr)
+	}
+
+	w, err := trace.WorkloadByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(w, core.NewDesign(core.NoRP), sim.TrackerPARA)
+	cfg.Cores = 2
+	cfg.WarmupInstructions = 2000
+	cfg.RunInstructions = 10_000
+	cfg.Seed = 9
+	live := sim.Run(cfg)
+	want := fmt.Sprintf("cycles:          %d", live.Cycles)
+	if !strings.Contains(stdout, want) {
+		t.Errorf("replay did not use the recorded seed; missing %q:\n%s", want, stdout)
+	}
+}
+
+func TestCharacterizeSingleWorkload(t *testing.T) {
+	code, stdout, stderr := cli(t, "-n", "5000", "-workload", "attack:manysided")
+	if code != 0 {
+		t.Fatalf("characterize failed: %s", stderr)
+	}
+	if !strings.Contains(stdout, "attack:manysided") {
+		t.Fatalf("characterization missing workload row:\n%s", stdout)
+	}
+}

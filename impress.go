@@ -11,7 +11,10 @@
 //   - the single-bank security harness (AttackConfig, RunAttack) and the
 //     adversarial patterns;
 //   - the full-system performance simulator (SimConfig, RunSim) with the
-//     paper's 20 synthetic workloads;
+//     paper's 20 synthetic workloads, arbitrary per-core co-run mixes
+//     including attack-pattern aggressor cores (MixWorkloads,
+//     WorkloadByName specs), and trace record/replay (RecordTrace,
+//     WorkloadTrace) with a bit-identical replay guarantee;
 //   - the experiment harness that regenerates every table and figure
 //     (Experiments, QuickScale, FullScale), backed by a concurrent
 //     memoizing run scheduler (ExperimentRunner, ExperimentsParallel).
@@ -36,6 +39,8 @@
 package impress
 
 import (
+	"io"
+
 	"impress/internal/attack"
 	"impress/internal/clm"
 	"impress/internal/core"
@@ -244,8 +249,39 @@ type Workload = trace.Workload
 // Workloads returns the paper's 20-workload evaluation list.
 func Workloads() []Workload { return trace.Workloads() }
 
-// WorkloadByName looks up one workload.
+// WorkloadByName resolves a workload spec: one of the 20 built-in names,
+// an "attack:<pattern>" adversarial workload, or an arbitrary per-core
+// co-run mix "mix:<entry>,<entry>,..." (e.g. "mix:mcf,gcc,attack:hammer").
 func WorkloadByName(name string) (Workload, error) { return trace.WorkloadByName(name) }
+
+// MixWorkloads builds a per-core co-run workload: core i runs
+// sources[i%len(sources)], each with its own disjoint address range.
+func MixWorkloads(name string, sources []Workload) (Workload, error) {
+	return trace.Mix(name, sources)
+}
+
+// ---- Trace record/replay (DESIGN.md §7) ----
+
+// WorkloadTrace is a recorded multi-core request stream in the versioned
+// binary trace format. Its Workload method returns a replayable workload
+// whose simulation is bit-identical to the live run it was recorded
+// from; Encode/WriteFile and DecodeTrace/ReadTraceFile move traces to
+// and from disk.
+type WorkloadTrace = trace.Trace
+
+// RecordTrace drains perCore requests per core from the workload's
+// generators (seeded as a live simulation would seed them) into a
+// replayable trace.
+func RecordTrace(w Workload, cores, perCore int, seed uint64) *WorkloadTrace {
+	return trace.Record(w, cores, perCore, seed)
+}
+
+// DecodeTrace reads a binary trace from a stream; it returns an error —
+// never panics — on corrupt input.
+func DecodeTrace(r io.Reader) (*WorkloadTrace, error) { return trace.Decode(r) }
+
+// ReadTraceFile loads a recorded trace file.
+func ReadTraceFile(path string) (*WorkloadTrace, error) { return trace.ReadFile(path) }
 
 // DefaultSimConfig returns the Table II system for a workload/defense.
 func DefaultSimConfig(w Workload, d Design, tracker TrackerKind) SimConfig {

@@ -1,7 +1,9 @@
 package impress_test
 
 import (
+	"bytes"
 	"math"
+	"reflect"
 	"testing"
 
 	"impress"
@@ -84,6 +86,35 @@ func TestPublicSimAPI(t *testing.T) {
 	res := impress.RunSim(cfg)
 	if len(res.IPC) != 8 || res.WeightedIPCSum <= 0 {
 		t.Fatalf("bad sim result: %+v", res)
+	}
+}
+
+func TestPublicTraceRecordReplay(t *testing.T) {
+	w, err := impress.WorkloadByName("mix:gcc,attack:hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := impress.RecordTrace(w, 2, 2_000, 1)
+	var buf bytes.Buffer
+	if err := rec.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := impress.DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := decoded.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := impress.DefaultSimConfig(replay, impress.NewDesign(impress.ImpressP), impress.TrackerGraphene)
+	cfg.Cores = 2
+	cfg.WarmupInstructions = 1_000
+	cfg.RunInstructions = 5_000
+	live := cfg
+	live.Workload = w
+	if a, b := impress.RunSim(cfg), impress.RunSim(live); !reflect.DeepEqual(a, b) {
+		t.Fatalf("replayed run differs from live run:\nreplay %+v\nlive   %+v", a, b)
 	}
 }
 

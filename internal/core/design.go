@@ -156,6 +156,32 @@ func (d Design) Validate() error {
 	return nil
 }
 
+// ParseDesign builds a design from its CLI name ("no-rp", "express",
+// "impress-n", "impress-p") with the shared optional parameters: alpha
+// retunes express/impress-n, tmroNs (> 0) overrides the ExPress tMRO in
+// nanoseconds, and fracBits sets ImPress-P's fractional EACT precision.
+// Parameters that do not apply to the named design are ignored, matching
+// the CLI flag semantics of cmd/impress-sim and cmd/impress-trace.
+func ParseDesign(name string, alpha float64, tmroNs int64, fracBits int) (Design, error) {
+	var d Design
+	switch name {
+	case "no-rp":
+		d = NewDesign(NoRP)
+	case "express":
+		d = NewDesign(ExPress).WithAlpha(alpha)
+		if tmroNs > 0 {
+			d = d.WithTMRO(dram.Ns(tmroNs))
+		}
+	case "impress-n":
+		d = NewDesign(ImpressN).WithAlpha(alpha)
+	case "impress-p":
+		d = NewDesign(ImpressP).WithFracBits(fracBits)
+	default:
+		return d, fmt.Errorf("core: unknown design %q (want no-rp, express, impress-n or impress-p)", name)
+	}
+	return d, d.Validate()
+}
+
 // RowOpenLimit returns the forced row-close time the memory controller
 // must enforce: tMRO for ExPress, the DDR5 tONMax otherwise (no
 // design-imposed limit — the defining property of ImPress).

@@ -55,6 +55,9 @@ type MemOp struct {
 	Addr uint64
 	// Write marks stores (which retire without waiting for data).
 	Write bool
+	// Uncached marks accesses that must bypass the LLC (attacker
+	// flush+access traffic); carried verbatim from trace.Request.
+	Uncached bool
 	// Done is set by the memory system when data returns.
 	Done bool
 
@@ -78,8 +81,9 @@ func (op *MemOp) Complete() {
 // MemorySystem accepts memory operations from cores.
 type MemorySystem interface {
 	// CanAccept reports whether a new operation for addr can be taken
-	// this cycle.
-	CanAccept(addr uint64, write bool) bool
+	// this cycle. uncached marks LLC-bypassing operations, whose
+	// acceptance may not rely on cache residency.
+	CanAccept(addr uint64, write, uncached bool) bool
 	// Access submits the operation; the memory system must eventually
 	// call op.Complete (immediately for hits is fine).
 	Access(op *MemOp)
@@ -233,7 +237,7 @@ func (c *Core) hintUsable() bool {
 	if v == c.hintVer {
 		return true
 	}
-	if c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write) {
+	if c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write, c.nextMem.Uncached) {
 		return false
 	}
 	c.hintVer = v
@@ -289,14 +293,15 @@ func (c *Core) fetch() {
 		if !c.nextMem.Write && c.outstanding >= c.cfg.MSHRs {
 			return // MSHRs exhausted: fetch stalls at the load
 		}
-		if !c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write) {
+		if !c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write, c.nextMem.Uncached) {
 			return // memory system backpressure
 		}
 		op := &MemOp{
-			Pos:   c.fetched,
-			Addr:  c.nextMem.Addr,
-			Write: c.nextMem.Write,
-			core:  c,
+			Pos:      c.fetched,
+			Addr:     c.nextMem.Addr,
+			Write:    c.nextMem.Write,
+			Uncached: c.nextMem.Uncached,
+			core:     c,
 		}
 		if op.Write {
 			// Stores retire immediately (posted through the write
@@ -388,7 +393,7 @@ func (c *Core) SkipHint() SkipHint {
 		fetchPure = true
 	case !c.nextMem.Write && c.outstanding >= c.cfg.MSHRs:
 		fetchBlocked = true
-	case !c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write):
+	case !c.mem.CanAccept(c.nextMem.Addr, c.nextMem.Write, c.nextMem.Uncached):
 		fetchBlocked = true
 		memBlocked = true
 	}

@@ -31,7 +31,7 @@ type fakeMem struct {
 	version  uint64
 }
 
-func (m *fakeMem) CanAccept(uint64, bool) bool { return m.accepts }
+func (m *fakeMem) CanAccept(uint64, bool, bool) bool { return m.accepts }
 
 // Version returns a fresh value every call: the fake cannot track which
 // mutations could flip CanAccept, so cores re-evaluate every cycle.

@@ -142,15 +142,33 @@ func (r *Runner) parallelism() int {
 	return r.Parallelism
 }
 
-// Workloads returns the workload list for this runner's scale.
+// Workloads returns the workload list for this runner's scale. Built-in
+// names keep their figure order; any remaining scale entry is resolved as
+// a workload spec ("mix:..." co-runs, "attack:..." aggressors) and
+// appended in scale order, so custom scales can put arbitrary scenarios
+// through every experiment. An unresolvable entry panics — a scale is
+// static configuration, and a typo must not silently shrink a figure.
 func (r *Runner) Workloads() []trace.Workload {
 	all := trace.Workloads()
 	if r.Scale.Workloads == nil {
 		return all
 	}
+	builtin := map[string]bool{}
+	for _, w := range all {
+		builtin[w.Name] = true
+	}
 	keep := map[string]bool{}
+	var extras []trace.Workload
 	for _, n := range r.Scale.Workloads {
-		keep[n] = true
+		if builtin[n] {
+			keep[n] = true
+			continue
+		}
+		w, err := trace.WorkloadByName(n)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: scale %q: %v", r.Scale.Name, err))
+		}
+		extras = append(extras, w)
 	}
 	var out []trace.Workload
 	for _, w := range all {
@@ -158,7 +176,7 @@ func (r *Runner) Workloads() []trace.Workload {
 			out = append(out, w)
 		}
 	}
-	return out
+	return append(out, extras...)
 }
 
 // Opt is an optional override of a simulation parameter. The zero value

@@ -165,6 +165,33 @@ func TestRunnerWorkloadFilter(t *testing.T) {
 	}
 }
 
+func TestRunnerWorkloadsResolveSpecs(t *testing.T) {
+	r := NewRunner(Scale{Name: "custom", Warmup: 1, Run: 1,
+		Workloads: []string{"copy", "gcc", "mix:gcc,attack:hammer"}})
+	ws := r.Workloads()
+	if len(ws) != 3 {
+		t.Fatalf("resolved %d workloads, want 3", len(ws))
+	}
+	// Built-ins keep figure order (gcc is SPEC, copy STREAM); spec
+	// entries append after them.
+	if ws[0].Name != "gcc" || ws[1].Name != "copy" || ws[2].Name != "mix:gcc,attack:hammer" {
+		t.Fatalf("wrong order: %s, %s, %s", ws[0].Name, ws[1].Name, ws[2].Name)
+	}
+	if ws[2].NewGenerator(1, 1).Next().Gap < 0 {
+		t.Fatal("resolved mix generator unusable")
+	}
+}
+
+func TestRunnerWorkloadsUnknownSpecPanics(t *testing.T) {
+	r := NewRunner(Scale{Name: "typo", Warmup: 1, Run: 1, Workloads: []string{"gcc", "bogus"}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("a scale naming an unknown workload must panic, not shrink figures silently")
+		}
+	}()
+	r.Workloads()
+}
+
 func TestFigure3ShapeTiny(t *testing.T) {
 	r := NewRunner(tinyScale())
 	tab := Figure3(r)

@@ -59,9 +59,21 @@ const (
 // Config describes one simulation run.
 type Config struct {
 	Workload trace.Workload
-	Cores    int
-	CPU      cpu.Config
-	LLC      cache.Config
+	// TraceFile, when non-empty, replaces Workload with the recorded
+	// trace stored at this path (internal/trace binary format): Run
+	// decodes the file, replays its per-core request streams, and sets
+	// Cores to the trace's recorded core count and Seed to the trace's
+	// recorded seed — the Seed override keeps randomized trackers
+	// (PARA/MINT) on the same RNG chain as the live run, which the
+	// replay-equivalence contract requires. An unreadable or corrupt
+	// file panics — callers wanting a recoverable error, or a different
+	// tracker seed over the same recorded stream, should load the trace
+	// themselves (trace.ReadFile + Trace.Workload) and set Workload
+	// directly.
+	TraceFile string
+	Cores     int
+	CPU       cpu.Config
+	LLC       cache.Config
 	// LLCLatency is the core-to-LLC round trip for hits, in CPU cycles.
 	LLCLatency int64
 
@@ -138,6 +150,19 @@ func (r Result) NormalizeTo(baseline Result) float64 {
 // uses it; Design, Workload and cpu/cache configs are plain values, so
 // sharing one Config template across goroutines by copy is fine.
 func Run(cfg Config) Result {
+	if cfg.TraceFile != "" {
+		t, err := trace.ReadFile(cfg.TraceFile)
+		if err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		w, err := t.Workload()
+		if err != nil {
+			panic(fmt.Sprintf("sim: %v", err))
+		}
+		cfg.Workload = w
+		cfg.Cores = len(t.PerCore)
+		cfg.Seed = t.Seed
+	}
 	if cfg.Cores <= 0 {
 		panic("sim: need at least one core")
 	}
@@ -185,9 +210,13 @@ type simulator struct {
 }
 
 type mshr struct {
-	line    uint64
-	dirty   bool
-	waiters []*cpu.MemOp
+	line  uint64
+	dirty bool
+	// uncached is set when the fetch was allocated by an LLC-bypassing
+	// operation: the returning line is not filled into the LLC, and a
+	// dirty one is written back to memory directly.
+	uncached bool
+	waiters  []*cpu.MemOp
 }
 
 type hitEntry struct {
@@ -250,10 +279,12 @@ func trackerFactory(cfg Config, rng *stats.Rand) memctrl.TrackerFactory {
 // stall verdicts and re-evaluate only when this moves.
 func (s *simulator) Version() uint64 { return s.memVersion }
 
-// CanAccept implements cpu.MemorySystem.
-func (s *simulator) CanAccept(addr uint64, write bool) bool {
+// CanAccept implements cpu.MemorySystem. Uncached operations may not
+// rely on LLC residency (they bypass the cache), so they need an MSHR
+// merge or read-queue space.
+func (s *simulator) CanAccept(addr uint64, write, uncached bool) bool {
 	line := addr / trace.LineSize
-	if s.llc.Contains(addr) {
+	if !uncached && s.llc.Contains(addr) {
 		return true
 	}
 	if _, ok := s.mshrs[line]; ok {
@@ -265,7 +296,7 @@ func (s *simulator) CanAccept(addr uint64, write bool) bool {
 
 // Access implements cpu.MemorySystem.
 func (s *simulator) Access(op *cpu.MemOp) {
-	if s.llc.Access(op.Addr, op.Write) {
+	if !op.Uncached && s.llc.Access(op.Addr, op.Write) {
 		if op.Write {
 			return // stores are posted; already Done
 		}
@@ -277,13 +308,16 @@ func (s *simulator) Access(op *cpu.MemOp) {
 	}
 	line := op.Addr / trace.LineSize
 	if m, ok := s.mshrs[line]; ok {
+		// Uncached operations may merge into an in-flight fetch of the
+		// same line (cacheable or not); the allocator decides whether the
+		// returning data fills the LLC.
 		m.dirty = m.dirty || op.Write
 		if !op.Write {
 			m.waiters = append(m.waiters, op)
 		}
 		return
 	}
-	m := &mshr{line: line, dirty: op.Write}
+	m := &mshr{line: line, dirty: op.Write, uncached: op.Uncached}
 	if !op.Write {
 		m.waiters = append(m.waiters, op)
 	}
@@ -305,11 +339,21 @@ func lineAddr(line uint64) uint64 { return line * trace.LineSize }
 
 func (s *simulator) fill(m *mshr) {
 	delete(s.mshrs, m.line)
-	victim, evicted := s.llc.Fill(lineAddr(m.line), m.dirty)
-	if evicted && victim.Dirty {
-		s.pendingWB = append(s.pendingWB, &memctrl.Request{
-			Addr: victim.Addr, Write: true, Loc: s.mc.Map(victim.Addr),
-		})
+	if m.uncached {
+		// LLC bypass: no fill, no eviction. A dirty uncached line is
+		// written straight back to memory (write-through after fetch).
+		if m.dirty {
+			s.pendingWB = append(s.pendingWB, &memctrl.Request{
+				Addr: lineAddr(m.line), Write: true, Loc: s.mc.Map(lineAddr(m.line)),
+			})
+		}
+	} else {
+		victim, evicted := s.llc.Fill(lineAddr(m.line), m.dirty)
+		if evicted && victim.Dirty {
+			s.pendingWB = append(s.pendingWB, &memctrl.Request{
+				Addr: victim.Addr, Write: true, Loc: s.mc.Map(victim.Addr),
+			})
+		}
 	}
 	s.memVersion++ // the fill (and freed MSHR) can unblock cores
 	for _, op := range m.waiters {

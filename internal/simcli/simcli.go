@@ -1,0 +1,152 @@
+// Package simcli holds the simulation flag set, config assembly and
+// result reporting shared by the CLIs that drive sim.Run
+// (cmd/impress-sim and cmd/impress-trace replay), so the two cannot
+// drift apart as parameters and counters are added.
+package simcli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"impress/internal/core"
+	"impress/internal/dram"
+	"impress/internal/sim"
+	"impress/internal/trace"
+)
+
+// Flags collects the simulation parameters every sim-driving CLI shares.
+type Flags struct {
+	Tracker  string
+	Design   string
+	Alpha    float64
+	TMRONs   int64
+	FracBits int
+	TRH      float64
+	RFMTH    int
+	Warmup   int64
+	Run      int64
+	Seed     uint64
+	Clock    string
+}
+
+// Register installs the shared flags on fs with the shared defaults and
+// returns the struct the parsed values land in.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.Tracker, "tracker", "graphene", "tracker: none, graphene, para, mithril, mint")
+	fs.StringVar(&f.Design, "design", "no-rp", "defense: no-rp, express, impress-n, impress-p")
+	fs.Float64Var(&f.Alpha, "alpha", 1.0, "CLM alpha for express/impress-n threshold retuning")
+	fs.Int64Var(&f.TMRONs, "tmro", 0, "ExPress tMRO in ns (default tRAS+tRC)")
+	fs.IntVar(&f.FracBits, "fracbits", 7, "ImPress-P fractional EACT bits")
+	fs.Float64Var(&f.TRH, "trh", 4000, "design Rowhammer threshold")
+	fs.IntVar(&f.RFMTH, "rfmth", 80, "RFM threshold (in-DRAM trackers)")
+	fs.Int64Var(&f.Warmup, "warmup", 100_000, "warmup instructions per core")
+	fs.Int64Var(&f.Run, "instructions", 500_000, "measured instructions per core")
+	fs.Uint64Var(&f.Seed, "seed", 1, "simulation seed")
+	fs.StringVar(&f.Clock, "clock", "event",
+		"clocking: event (skip idle cycles), cycle (tick every cycle), lockstep (cross-check both)")
+	return f
+}
+
+// ParseClock maps a -clock flag value to the simulator mode.
+func ParseClock(name string) (sim.ClockMode, error) {
+	switch name {
+	case "event":
+		return sim.ClockEventDriven, nil
+	case "cycle":
+		return sim.ClockCycleAccurate, nil
+	case "lockstep":
+		return sim.ClockLockstep, nil
+	default:
+		return 0, fmt.Errorf("unknown -clock %q (want event, cycle or lockstep)", name)
+	}
+}
+
+// Config materializes the simulation configuration for workload w from
+// the parsed flags, returning the design alongside for reporting.
+func (f *Flags) Config(w trace.Workload) (sim.Config, core.Design, error) {
+	design, err := core.ParseDesign(f.Design, f.Alpha, f.TMRONs, f.FracBits)
+	if err != nil {
+		return sim.Config{}, design, err
+	}
+	clock, err := ParseClock(f.Clock)
+	if err != nil {
+		return sim.Config{}, design, err
+	}
+	cfg := sim.DefaultConfig(w, design, sim.TrackerKind(f.Tracker))
+	cfg.DesignTRH = f.TRH
+	cfg.RFMTH = f.RFMTH
+	cfg.WarmupInstructions = f.Warmup
+	cfg.RunInstructions = f.Run
+	cfg.Seed = f.Seed
+	cfg.Clock = clock
+	return cfg, design, nil
+}
+
+// ApplyTrace loads the recorded trace at path into cfg: the replay
+// workload, the trace's core count, and — unless the caller's -seed flag
+// was set explicitly — the trace's recorded seed, so replays keep
+// randomized trackers on the live run's RNG chain by default (the
+// replay-equivalence contract). The decoded trace is returned for
+// reporting.
+func (f *Flags) ApplyTrace(cfg *sim.Config, fs *flag.FlagSet, path string) (*trace.Trace, error) {
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := t.Workload()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Workload = w
+	cfg.Cores = len(t.PerCore)
+	seedSet := false
+	fs.Visit(func(fl *flag.Flag) { seedSet = seedSet || fl.Name == "seed" })
+	if !seedSet {
+		cfg.Seed = t.Seed
+	}
+	return t, nil
+}
+
+// Run executes the simulation, converting panics — a replay recording
+// too short for the run, an unknown tracker, a lockstep divergence — into
+// errors so CLIs report one clean line and exit non-zero instead of
+// dumping a stack trace.
+func Run(cfg sim.Config) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation failed: %v", p)
+		}
+	}()
+	return sim.Run(cfg), nil
+}
+
+// PrintResult writes the standard performance summary shared by the
+// sim-driving CLIs (everything below each CLI's own header lines).
+func PrintResult(w io.Writer, res sim.Result, design core.Design, tracker string, trh float64) {
+	m := res.Mem
+	fmt.Fprintf(w, "design:          %s\n", design.Name())
+	fmt.Fprintf(w, "tracker:         %s (tuned to T*=%.0f)\n", tracker, design.TrackerTRH(trh))
+	fmt.Fprintf(w, "IPC (sum/core):  %.3f", res.WeightedIPCSum)
+	for _, ipc := range res.IPC {
+		fmt.Fprintf(w, " %.3f", ipc)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "cycles:          %d\n", res.Cycles)
+	fmt.Fprintf(w, "LLC hit rate:    %.3f\n", res.LLCHitRate)
+	rbTotal := m.RowHits + m.RowMisses
+	if rbTotal > 0 {
+		fmt.Fprintf(w, "row-buffer hits: %.3f (%d hits / %d misses / %d conflicts)\n",
+			float64(m.RowHits)/float64(rbTotal), m.RowHits, m.RowMisses, m.RowConflicts)
+	}
+	fmt.Fprintf(w, "demand ACTs:     %d\n", m.DemandACTs)
+	fmt.Fprintf(w, "mitigative ACTs: %d (%d mitigations)\n", m.MitigativeACTs, m.Mitigations)
+	fmt.Fprintf(w, "synthetic ACTs:  %d (ImPress window/EACT events)\n", m.SyntheticACTs)
+	fmt.Fprintf(w, "forced closures: %d (tMRO/tONMax)\n", m.ForcedClosures)
+	fmt.Fprintf(w, "refreshes/RFMs:  %d / %d\n", m.Refreshes, m.RFMs)
+	if m.Reads > 0 {
+		avgNs := float64(m.ReadLatencySum) / float64(m.Reads) / float64(dram.TicksPerNs)
+		fmt.Fprintf(w, "avg read lat:    %.1f ns\n", avgNs)
+	}
+}

@@ -68,8 +68,12 @@ func Characterize(g Generator, n int) Characterization {
 	}
 	c.AccessesPerKI = float64(n) / float64(instructions) * 1000
 	c.WriteFraction = float64(writes) / float64(n)
-	c.SeqFraction = float64(seq) / float64(n-1)
-	c.MOPGroupHitFraction = float64(mop) / float64(n-1)
+	if n > 1 {
+		// Adjacency fractions are over the n-1 consecutive pairs; a
+		// single-request sample has none (0, not 0/0 = NaN).
+		c.SeqFraction = float64(seq) / float64(n-1)
+		c.MOPGroupHitFraction = float64(mop) / float64(n-1)
+	}
 	c.UniqueLines = len(seen)
 	c.FootprintBytes = uint64(len(seen)) * LineSize
 	return c

@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements the portable binary trace format (version 1) and
+// the Record half of the record/replay pipeline. The format is
+// self-describing and compact — see DESIGN.md §7 for the byte-level
+// specification and the replay-equivalence contract:
+//
+//	magic "IMPTRC" | uvarint version (1) | uvarint len + name bytes
+//	| uvarint flags (bit0 = STREAM class) | uvarint seed
+//	| uvarint line size | uvarint core count
+//	| per core: uvarint request count, then per request:
+//	|   zigzag-uvarint line delta (line = Addr / line size, vs. the
+//	|     previous request of the SAME core; first delta is vs. line 0)
+//	|   uvarint meta = gap<<2 | uncached<<1 | write
+//
+// Per-core delta encoding exploits the spatial locality the generators
+// are built around: sequential runs encode as two bytes per request.
+
+// traceMagic opens every trace file.
+const traceMagic = "IMPTRC"
+
+// TraceVersion is the format version this package reads and writes.
+const TraceVersion = 1
+
+// Decode hard limits: headers claiming more are rejected as corrupt
+// rather than trusted with allocations. Request counts need no explicit
+// cap — requests are decoded incrementally and every record costs at
+// least two input bytes, so memory is bounded by the input size.
+const (
+	maxTraceName     = 1 << 12
+	maxTraceCores    = 1 << 10
+	maxTraceLineSize = 1 << 20
+	// maxTraceLine bounds line indices to a sane physical space; Decode
+	// additionally clamps lines so Addr = line * lineSize stays below
+	// 2^63 and cannot overflow for any accepted line size.
+	maxTraceLine = 1 << 52
+	// maxTraceGap bounds per-request instruction gaps.
+	maxTraceGap = 1 << 40
+)
+
+// Trace is a recorded multi-core request stream: the header identifies
+// what was captured and PerCore holds each core's full stream in issue
+// order. A Trace is immutable once built; replaying it (Workload) is safe
+// from concurrent sim.Run calls because every replay generator keeps its
+// own cursor.
+type Trace struct {
+	// Name is the recorded workload's name (a plain workload, a
+	// "mix:..." spec or an "attack:..." pattern — WorkloadByName resolves
+	// all three).
+	Name string
+	// Stream records the workload's SPEC/STREAM classification so
+	// replayed runs land in the right geomean bucket.
+	Stream bool
+	// Seed is the generator seed the recording used.
+	Seed uint64
+	// LineSize is the cache-line granularity of the recorded addresses.
+	LineSize int
+	// PerCore holds one request stream per recorded core.
+	PerCore [][]Request
+}
+
+// Requests returns the total request count across all cores.
+func (t *Trace) Requests() int {
+	n := 0
+	for _, reqs := range t.PerCore {
+		n += len(reqs)
+	}
+	return n
+}
+
+// Record drains perCore requests from each of cores fresh generators of w
+// (seeded exactly as a live simulation would seed them) into a Trace.
+// Replaying the result through sim.Run reproduces the live run
+// bit-identically as long as perCore covers every request the simulated
+// cores consume; the replay generator fails loudly if it does not.
+func Record(w Workload, cores, perCore int, seed uint64) *Trace {
+	if cores <= 0 || perCore <= 0 {
+		panic("trace: Record needs positive core and request counts")
+	}
+	t := &Trace{
+		Name:     w.Name,
+		Stream:   w.Stream,
+		Seed:     seed,
+		LineSize: LineSize,
+		PerCore:  make([][]Request, cores),
+	}
+	for c := 0; c < cores; c++ {
+		g := w.NewGenerator(c, seed)
+		reqs := make([]Request, perCore)
+		for i := range reqs {
+			reqs[i] = g.Next()
+		}
+		t.PerCore[c] = reqs
+	}
+	return t
+}
+
+// zigzag maps signed deltas onto unsigned varint-friendly values.
+func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Encode writes the trace in the version-1 binary format.
+func (t *Trace) Encode(w io.Writer) error {
+	switch {
+	case len(t.Name) > maxTraceName:
+		return fmt.Errorf("trace: name longer than %d bytes", maxTraceName)
+	case t.LineSize <= 0 || t.LineSize > maxTraceLineSize:
+		return fmt.Errorf("trace: bad line size %d", t.LineSize)
+	case len(t.PerCore) == 0 || len(t.PerCore) > maxTraceCores:
+		return fmt.Errorf("trace: core count %d outside [1, %d]", len(t.PerCore), maxTraceCores)
+	}
+	bw := bufio.NewWriter(w)
+	var scratch [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		bw.Write(scratch[:n])
+	}
+	bw.WriteString(traceMagic)
+	put(TraceVersion)
+	put(uint64(len(t.Name)))
+	bw.WriteString(t.Name)
+	var flags uint64
+	if t.Stream {
+		flags |= 1
+	}
+	put(flags)
+	put(t.Seed)
+	put(uint64(t.LineSize))
+	put(uint64(len(t.PerCore)))
+	for c, reqs := range t.PerCore {
+		put(uint64(len(reqs)))
+		prevLine := uint64(0)
+		for i, req := range reqs {
+			if req.Addr%uint64(t.LineSize) != 0 {
+				return fmt.Errorf("trace: core %d request %d: address %#x not %d-byte aligned",
+					c, i, req.Addr, t.LineSize)
+			}
+			line := req.Addr / uint64(t.LineSize)
+			// Mirror Decode's bound exactly (including the 2^63 address
+			// clamp), so everything Encode writes is readable back.
+			if line >= maxTraceLine || line > uint64(1<<63-1)/uint64(t.LineSize) {
+				return fmt.Errorf("trace: core %d request %d: line %#x out of range", c, i, line)
+			}
+			if req.Gap < 0 || int64(req.Gap) > maxTraceGap {
+				return fmt.Errorf("trace: core %d request %d: gap %d out of range", c, i, req.Gap)
+			}
+			put(zigzag(int64(line) - int64(prevLine)))
+			meta := uint64(req.Gap) << 2
+			if req.Uncached {
+				meta |= 2
+			}
+			if req.Write {
+				meta |= 1
+			}
+			put(meta)
+			prevLine = line
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a version-1 trace. It never panics on corrupt or truncated
+// input: every structural violation — bad magic, unknown version or flag
+// bits, out-of-range header fields, truncated streams, trailing garbage —
+// returns an error, and allocation is bounded by the input size.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(traceMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != traceMagic {
+		return nil, fmt.Errorf("trace: not a trace file (bad magic)")
+	}
+	get := func(what string, max uint64) (uint64, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("trace: truncated %s", what)
+		}
+		if v > max {
+			return 0, fmt.Errorf("trace: %s %d out of range (max %d)", what, v, max)
+		}
+		return v, nil
+	}
+	version, err := get("version", 1<<20)
+	if err != nil {
+		return nil, err
+	}
+	if version != TraceVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", version, TraceVersion)
+	}
+	nameLen, err := get("name length", maxTraceName)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: truncated name")
+	}
+	flags, err := get("flags", ^uint64(0))
+	if err != nil {
+		return nil, err
+	}
+	if flags&^uint64(1) != 0 {
+		return nil, fmt.Errorf("trace: unknown flag bits %#x", flags&^uint64(1))
+	}
+	seed, err := get("seed", ^uint64(0))
+	if err != nil {
+		return nil, err
+	}
+	lineSize, err := get("line size", maxTraceLineSize)
+	if err != nil {
+		return nil, err
+	}
+	if lineSize == 0 {
+		return nil, fmt.Errorf("trace: zero line size")
+	}
+	cores, err := get("core count", maxTraceCores)
+	if err != nil {
+		return nil, err
+	}
+	if cores == 0 {
+		return nil, fmt.Errorf("trace: zero core count")
+	}
+	t := &Trace{
+		Name:     string(name),
+		Stream:   flags&1 != 0,
+		Seed:     seed,
+		LineSize: int(lineSize),
+		PerCore:  make([][]Request, cores),
+	}
+	for c := range t.PerCore {
+		count, err := get(fmt.Sprintf("core %d request count", c), 1<<40)
+		if err != nil {
+			return nil, err
+		}
+		// Grow incrementally: a corrupt count cannot force a huge upfront
+		// allocation because every record consumes input bytes.
+		reqs := make([]Request, 0, int(min(count, 1<<16)))
+		prevLine := int64(0)
+		// Cap lines so Addr = line * lineSize stays below 2^63: no uint64
+		// overflow, and alignment survives the round trip for any line
+		// size (wrapped addresses would silently corrupt the replay).
+		maxLine := min(uint64(maxTraceLine)-1, uint64(1<<63-1)/lineSize)
+		for i := uint64(0); i < count; i++ {
+			du, err := get("line delta", ^uint64(0))
+			if err != nil {
+				return nil, err
+			}
+			line := prevLine + unzigzag(du)
+			if line < 0 || uint64(line) > maxLine {
+				return nil, fmt.Errorf("trace: core %d request %d: line %d out of range", c, i, line)
+			}
+			meta, err := get("request meta", ^uint64(0))
+			if err != nil {
+				return nil, err
+			}
+			gap := meta >> 2
+			if gap > maxTraceGap {
+				return nil, fmt.Errorf("trace: core %d request %d: gap %d out of range", c, i, gap)
+			}
+			reqs = append(reqs, Request{
+				Addr:     uint64(line) * lineSize,
+				Write:    meta&1 != 0,
+				Uncached: meta&2 != 0,
+				Gap:      int(gap),
+			})
+			prevLine = line
+		}
+		t.PerCore[c] = reqs
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after %d cores", cores)
+	}
+	return t, nil
+}
+
+// WriteFile encodes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile decodes the trace stored at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -30,6 +30,12 @@ type Request struct {
 	// Gap is the number of non-memory instructions executed before this
 	// access (the access itself counts as one more instruction).
 	Gap int
+	// Uncached marks accesses that bypass the LLC entirely and never
+	// allocate a line — the flush+access traffic of an attacker core.
+	// Benign synthetic workloads never set it; the attack-pattern
+	// adapters (NewAttackWorkload) do, so aggressor streams reach DRAM
+	// instead of becoming LLC-resident.
+	Uncached bool
 }
 
 // LineSize is the cache-line granularity of all generated addresses.

@@ -1,6 +1,9 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // This file defines the 20 workloads of the paper's evaluation (Section
 // III-A): 10 SPEC2017-like traces, 4 STREAM kernels and 6 pairwise STREAM
@@ -114,14 +117,25 @@ func Workloads() []Workload {
 	return ws
 }
 
-// WorkloadByName returns the named workload.
+// WorkloadByName resolves a workload spec: one of the 20 built-in
+// workload names, an "attack:<pattern>" adversarial workload (see
+// AttackPatternNames), or a "mix:<entry>,<entry>,..." per-core co-run
+// assignment (see ParseMix). Recorded trace headers store these specs, so
+// any name a simulation ran under resolves back to a live equivalent.
 func WorkloadByName(name string) (Workload, error) {
+	if rest, ok := strings.CutPrefix(name, "mix:"); ok {
+		return ParseMix(rest)
+	}
+	if rest, ok := strings.CutPrefix(name, "attack:"); ok {
+		return NewAttackWorkload(rest)
+	}
 	for _, w := range Workloads() {
 		if w.Name == name {
 			return w, nil
 		}
 	}
-	return Workload{}, fmt.Errorf("trace: unknown workload %q", name)
+	return Workload{}, fmt.Errorf(
+		"trace: unknown workload %q (want a built-in name, \"mix:a,b,...\" or \"attack:<pattern>\")", name)
 }
 
 // mix interleaves two kernel generators, switching every switchEvery
