@@ -4,6 +4,8 @@
 //
 //	impress-experiments [-scale quick|standard|full] [-parallel N]
 //	                    [-only fig3,fig13,...] [-out DIR]
+//	                    [-cache-dir DIR] [-shard i/n]
+//	impress-experiments cache stats|gc|verify [-cache-dir DIR]
 //
 // With -out, each experiment is additionally written to DIR/<id>.txt.
 // The analytical experiments (charge-loss model, security harness,
@@ -12,29 +14,65 @@
 // -parallel worker goroutines (default: all CPUs) and take minutes at
 // -scale full. Output is deterministic and byte-identical at every
 // parallelism level.
+//
+// With -cache-dir (or $IMPRESS_CACHE), every simulation result is
+// persisted in a content-addressed store and reused by later runs, so a
+// re-run against a warm cache simulates nothing and is near-instant.
+// -shard i/n simulates only the i-th of n deterministic partitions of the
+// full sweep into the store and renders no tables: point n machines (or
+// CI jobs) at a shared cache directory, run one shard on each, then
+// render every table from any machine with a plain run against the same
+// directory. The cache subcommand inspects (stats), cleans (gc) and
+// spot-checks (verify — re-simulates a sample and compares bit-for-bit)
+// a store directory. See EXPERIMENTS.md for a CI fan-out example.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"reflect"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"impress/internal/experiments"
+	"impress/internal/resultstore"
+	"impress/internal/simcli"
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "quick", "simulation scale: quick, standard, or full")
-	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
-	outDir := flag.String("out", "", "directory to write per-experiment text files")
-	analytical := flag.Bool("analytical", false, "run only the analytical (no-simulation) experiments")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code; it is the
+// testable seam for the command.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && args[0] == "cache" {
+		return runCache(args[1:], stdout, stderr)
+	}
+	fs := flag.NewFlagSet("impress-experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scaleFlag := fs.String("scale", "quick", "simulation scale: quick, standard, or full")
+	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
+	outDir := fs.String("out", "", "directory to write per-experiment text files")
+	analytical := fs.Bool("analytical", false, "run only the analytical (no-simulation) experiments")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0),
 		"max concurrent simulations (1 = serial; output is identical either way)")
-	flag.Parse()
+	cacheDir := fs.String("cache-dir", os.Getenv("IMPRESS_CACHE"),
+		"persistent result-store directory (default $IMPRESS_CACHE; empty disables caching)")
+	shard := fs.String("shard", "",
+		"simulate only partition i/n of the full sweep into -cache-dir and render no tables")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -45,16 +83,34 @@ func main() {
 	case "full":
 		scale = experiments.FullScale()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick, standard, or full)\n", *scaleFlag)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown scale %q (want quick, standard, or full)\n", *scaleFlag)
+		return 2
 	}
 	if *parallel < 1 {
-		fmt.Fprintf(os.Stderr, "-parallel must be at least 1 (got %d)\n", *parallel)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "-parallel must be at least 1 (got %d)\n", *parallel)
+		return 2
 	}
 
 	runner := experiments.NewRunner(scale)
 	runner.Parallelism = *parallel
+	var store *resultstore.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = resultstore.Open(*cacheDir); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		runner.Store = store
+	}
+
+	if *shard != "" {
+		if *only != "" || *analytical || *outDir != "" {
+			fmt.Fprintln(stderr, "-shard populates the result store only; it cannot combine with -only, -analytical or -out")
+			return 2
+		}
+		return runShard(runner, store, *shard, stdout, stderr)
+	}
+
 	all := experimentList(runner)
 	specs := all
 	if *analytical {
@@ -80,29 +136,20 @@ func main() {
 			case active[id]:
 				want[id] = true
 			case known[id]:
-				fmt.Fprintf(os.Stderr, "experiment %q is simulation-backed; drop -analytical to run it\n", id)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "experiment %q is simulation-backed; drop -analytical to run it\n", id)
+				return 2
 			default:
-				fmt.Fprintf(os.Stderr, "unknown experiment ID %q (known: %s)\n",
+				fmt.Fprintf(stderr, "unknown experiment ID %q (known: %s)\n",
 					id, strings.Join(knownIDs(all), ", "))
-				os.Exit(2)
+				return 2
 			}
 		}
 		if len(want) == 0 {
-			fmt.Fprintf(os.Stderr, "-only %q names no experiments\n", *only)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "-only %q names no experiments\n", *only)
+			return 2
 		}
 	}
 
-	emit := func(t *experiments.Table) {
-		t.Render(os.Stdout)
-		if *outDir != "" {
-			if err := writeTable(*outDir, t); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}
-	}
 	// Build lazily so -only skips expensive experiments entirely; emit each
 	// table as soon as it is ready so long runs produce partial results.
 	// Each simulation-backed experiment prefetches its full run set over
@@ -113,9 +160,219 @@ func main() {
 		}
 		start := time.Now()
 		t := spec.build()
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", spec.id, time.Since(start).Round(time.Millisecond))
-		emit(t)
+		fmt.Fprintf(stderr, "[%s done in %v]\n", spec.id, time.Since(start).Round(time.Millisecond))
+		t.Render(stdout)
+		if *outDir != "" {
+			if err := writeTable(*outDir, t); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+		}
 	}
+	if store != nil {
+		fmt.Fprintln(stderr, cacheSummary(runner, store))
+	}
+	return 0
+}
+
+// cacheSummary renders the one-line store accounting emitted (on stderr)
+// after any cached run: "simulated=0" is the signature of a fully warm
+// sweep.
+func cacheSummary(r *experiments.Runner, store *resultstore.Store) string {
+	c := store.Counters()
+	return fmt.Sprintf("[cache] simulated=%d hits=%d misses=%d writes=%d write-errors=%d dir=%s",
+		r.Sims(), c.Hits, c.Misses, c.Writes, c.WriteErrors, store.Dir())
+}
+
+// parseShard parses a 1-based "i/n" shard spec, rejecting anything but
+// exactly two integers (a typo like "1/2/8" must not silently run as
+// shard 1 of 2 and skew a fleet's partition).
+func parseShard(s string) (index, count int, err error) {
+	before, after, ok := strings.Cut(s, "/")
+	if ok {
+		index, err = strconv.Atoi(before)
+		if err == nil {
+			count, err = strconv.Atoi(after)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("malformed -shard %q (want i/n, e.g. 1/4)", s)
+	}
+	if count < 1 || index < 1 || index > count {
+		return 0, 0, fmt.Errorf("-shard %q out of range (want 1 <= i <= n)", s)
+	}
+	return index, count, nil
+}
+
+// runShard simulates one deterministic partition of the full sweep into
+// the shared result store. It renders no tables: after every shard of a
+// fleet has run, any plain invocation against the same -cache-dir
+// assembles all of them with zero simulations.
+func runShard(runner *experiments.Runner, store *resultstore.Store, shard string, stdout, stderr io.Writer) int {
+	index, count, err := parseShard(shard)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if store == nil {
+		fmt.Fprintln(stderr, "-shard needs a shared result store: set -cache-dir or $IMPRESS_CACHE")
+		return 2
+	}
+	specs := experiments.SimSpecs(runner)
+	mine := runner.Shard(specs, index, count)
+	start := time.Now()
+	runner.Prefetch(mine)
+	c := store.Counters()
+	fmt.Fprintf(stdout, "shard %d/%d: %d specs owned, simulated=%d hits=%d writes=%d in %v\n",
+		index, count, len(mine), runner.Sims(), c.Hits, c.Writes,
+		time.Since(start).Round(time.Millisecond))
+	if c.WriteErrors > 0 {
+		fmt.Fprintf(stderr, "shard %d/%d: %d results could not be written to %s — the merge run would re-simulate them\n",
+			index, count, c.WriteErrors, store.Dir())
+		return 1
+	}
+	return 0
+}
+
+// runCache dispatches the `impress-experiments cache <action>` subcommand
+// over a store directory: stats, gc or verify.
+func runCache(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintln(stderr, "usage: impress-experiments cache stats|gc|verify [-cache-dir DIR]")
+		return 2
+	}
+	action := args[0]
+	fs := flag.NewFlagSet("impress-experiments cache "+action, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cacheDir := fs.String("cache-dir", os.Getenv("IMPRESS_CACHE"),
+		"result-store directory (default $IMPRESS_CACHE)")
+	sample := fs.Int("sample", 3, "entries to re-simulate (verify only; 0 = all)")
+	if err := fs.Parse(args[1:]); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if *cacheDir == "" {
+		fmt.Fprintln(stderr, "impress-experiments cache: set -cache-dir or $IMPRESS_CACHE")
+		return 2
+	}
+	store, err := resultstore.Open(*cacheDir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	switch action {
+	case "stats":
+		return cacheStats(store, stdout, stderr)
+	case "gc":
+		return cacheGC(store, stdout, stderr)
+	case "verify":
+		return cacheVerify(store, *sample, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "impress-experiments cache: unknown action %q (want stats, gc or verify)\n", action)
+		return 2
+	}
+}
+
+func cacheStats(store *resultstore.Store, stdout, stderr io.Writer) int {
+	s, err := store.ReadStats()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "store:     %s\n", store.Dir())
+	fmt.Fprintf(stdout, "entries:   %d (%d bytes)\n", s.Entries, s.Bytes)
+	fmt.Fprintf(stdout, "invalid:   %d (%d bytes; corrupt or outdated — reclaim with gc)\n",
+		s.Invalid, s.InvalidBytes)
+	producers := make([]string, 0, len(s.ByProducer))
+	for p := range s.ByProducer {
+		producers = append(producers, p)
+	}
+	sort.Strings(producers)
+	for _, p := range producers {
+		fmt.Fprintf(stdout, "producer:  %s (%d entries)\n", p, s.ByProducer[p])
+	}
+	return 0
+}
+
+func cacheGC(store *resultstore.Store, stdout, stderr io.Writer) int {
+	removed, freed, err := store.GC()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "gc: removed %d invalid files, freed %d bytes in %s\n",
+		removed, freed, store.Dir())
+	return 0
+}
+
+// cacheVerify re-simulates a deterministic sample of store entries and
+// compares each fresh result bit-for-bit against the cached one. A
+// mismatch means the simulator's behavior changed without a
+// resultstore.FormatVersion bump (or the store was tampered with); the
+// fix is bumping the version (or gc-ing after one) so stale entries
+// become misses.
+func cacheVerify(store *resultstore.Store, sample int, stdout, stderr io.Writer) int {
+	entries, err := store.Entries()
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(entries) == 0 {
+		fmt.Fprintln(stdout, "verify: store is empty")
+		return 0
+	}
+	picked := sampleEntries(entries, sample)
+	mismatches, skipped := 0, 0
+	for _, e := range picked {
+		label := fmt.Sprintf("%s | %s/%s/%s", e.Key[:12], e.Spec.Workload, e.Spec.Design.Name(), e.Spec.Tracker)
+		cfg, err := e.Spec.Config()
+		if err != nil {
+			// Trace-file entries are keyed by content hash only; without
+			// the file they cannot be re-simulated.
+			fmt.Fprintf(stdout, "skip  %s: %v\n", label, err)
+			skipped++
+			continue
+		}
+		res, err := simcli.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "verify %s: %v\n", label, err)
+			return 1
+		}
+		if !reflect.DeepEqual(res, e.Result) {
+			fmt.Fprintf(stdout, "MISMATCH %s (produced by %s):\n  cached: %+v\n  fresh:  %+v\n",
+				label, e.Producer, e.Result, res)
+			mismatches++
+			continue
+		}
+		fmt.Fprintf(stdout, "ok    %s\n", label)
+	}
+	fmt.Fprintf(stdout, "verify: %d checked, %d ok, %d mismatched, %d skipped of %d entries\n",
+		len(picked), len(picked)-mismatches-skipped, mismatches, skipped, len(entries))
+	if mismatches > 0 {
+		fmt.Fprintln(stderr, "verify: cached results diverge from the current simulator — bump resultstore.FormatVersion or gc the store")
+		return 1
+	}
+	if skipped == len(picked) {
+		// A verify gate that compared nothing must not report success.
+		fmt.Fprintln(stderr, "verify: every sampled entry was skipped — nothing was actually verified; raise -sample or check the store's contents")
+		return 1
+	}
+	return 0
+}
+
+// sampleEntries picks a deterministic stride sample of n entries (the
+// slice is already key-sorted); n <= 0 or n >= len keeps all.
+func sampleEntries(entries []resultstore.Entry, n int) []resultstore.Entry {
+	if n <= 0 || n >= len(entries) {
+		return entries
+	}
+	picked := make([]resultstore.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		picked = append(picked, entries[i*len(entries)/n])
+	}
+	return picked
 }
 
 type spec struct {

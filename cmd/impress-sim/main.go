@@ -13,6 +13,12 @@
 // -workload accepts the 20 built-in names, "attack:<pattern>" adversarial
 // workloads and per-core "mix:..." co-run specs; -trace replays a file
 // recorded with impress-trace instead of running live generators.
+//
+// With -cache-dir (or $IMPRESS_CACHE) the result is served from — and
+// saved to — the same persistent result store impress-experiments uses,
+// so a configuration an experiment sweep already simulated returns
+// instantly. Results are bit-identical across -clock modes, so one
+// cache entry serves all three; omit the flag to force a live run.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"fmt"
 	"os"
 
+	"impress/internal/resultstore"
 	"impress/internal/simcli"
 	"impress/internal/trace"
 )
@@ -57,18 +64,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	var replayed *trace.Trace
 	if *traceFile != "" {
-		if _, err := simFlags.ApplyTrace(&cfg, flag.CommandLine, *traceFile); err != nil {
+		if replayed, err = simFlags.ApplyTrace(&cfg, flag.CommandLine, *traceFile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
 	}
 
-	res, err := simcli.Run(cfg)
+	var store *resultstore.Store
+	if replayed != nil {
+		store, err = simFlags.StoreForReplay(replayed, cfg, os.Stderr)
+	} else {
+		store, err = simFlags.OpenStore()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, hit, err := simcli.RunCached(store, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	simcli.ReportCacheOutcome(os.Stderr, store, hit)
 	fmt.Printf("workload:        %s\n", res.Workload)
 	simcli.PrintResult(os.Stdout, res, design, simFlags.Tracker, simFlags.TRH)
 }

@@ -223,13 +223,23 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// simcli.Run converts panics — e.g. a recording too short for the
-	// requested run — into a clean CLI error.
-	res, err := simcli.Run(cfg)
+	store, err := simFlags.StoreForReplay(t, cfg, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
+		return 2
+	}
+	// simcli.RunCached converts panics — e.g. a recording too short for
+	// the requested run — into a clean CLI error, and serves warm
+	// -cache-dir runs without simulating. Replays are keyed exactly like
+	// the live run of the recorded workload (the replay-equivalence
+	// contract makes them interchangeable), so a replay can hit an entry
+	// a live run produced and vice versa.
+	res, hit, err := simcli.RunCached(store, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
 		return 1
 	}
+	simcli.ReportCacheOutcome(stderr, store, hit)
 	fmt.Fprintf(stdout, "trace:           %s (%d cores, seed %d)\n", t.Name, len(t.PerCore), t.Seed)
 	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)
 	return 0

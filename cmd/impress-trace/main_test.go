@@ -12,9 +12,12 @@ import (
 	"impress/internal/trace"
 )
 
-// cli invokes the command in-process and captures its output.
+// cli invokes the command in-process and captures its output. The
+// developer's IMPRESS_CACHE is neutralized so replay tests never read
+// from — or write into — a real result store.
 func cli(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
+	t.Setenv("IMPRESS_CACHE", "")
 	var out, errOut strings.Builder
 	code = run(args, &out, &errOut)
 	return code, out.String(), errOut.String()
@@ -228,5 +231,59 @@ func TestCharacterizeSingleWorkload(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "attack:manysided") {
 		t.Fatalf("characterization missing workload row:\n%s", stdout)
+	}
+}
+
+// TestReplayCacheSeedSemantics locks the store keying of replays: a
+// replay at the recorded seed shares the live run's cache entry, while a
+// -seed override bypasses the store entirely (it is neither the recorded
+// run nor the live run at the new seed, so caching it would poison both).
+func TestReplayCacheSeedSemantics(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "gcc.trace")
+	cache := filepath.Join(dir, "store")
+	if code, _, stderr := cli(t, "record", "-workload", "gcc", "-n", "20000", "-o", tracePath); code != 0 {
+		t.Fatalf("record failed: %s", stderr)
+	}
+	base := []string{"replay", "-design", "impress-p", "-warmup", "1000", "-instructions", "5000", "-cache-dir", cache}
+
+	code, cold, stderr := cli(t, append(base, tracePath)...)
+	if code != 0 {
+		t.Fatalf("cold replay failed (%d): %s", code, stderr)
+	}
+	if strings.Contains(stderr, "served from cache") {
+		t.Fatalf("cold replay cannot be a cache hit: %s", stderr)
+	}
+
+	code, warm, stderr := cli(t, append(base, tracePath)...)
+	if code != 0 || !strings.Contains(stderr, "served from cache") {
+		t.Fatalf("warm replay should hit the store (%d): %s", code, stderr)
+	}
+	if warm != cold {
+		t.Fatal("cached replay output differs from the live replay")
+	}
+
+	// A foreign seed must bypass the store: no hit on the recorded run's
+	// entry, and nothing written that a later run could be served.
+	foreign := append(append([]string{}, base...), "-seed", "99", tracePath)
+	for i := 0; i < 2; i++ {
+		code, _, stderr = cli(t, foreign...)
+		if code != 0 {
+			t.Fatalf("seed-override replay failed (%d): %s", code, stderr)
+		}
+		if !strings.Contains(stderr, "cache bypassed") || strings.Contains(stderr, "served from cache") {
+			t.Fatalf("seed-override replay must bypass the store: %s", stderr)
+		}
+	}
+
+	// An explicit -seed equal to the recording's keeps the contract and
+	// the cache hit.
+	same := append(append([]string{}, base...), "-seed", "1", tracePath)
+	code, out, stderr := cli(t, same...)
+	if code != 0 || !strings.Contains(stderr, "served from cache") {
+		t.Fatalf("explicit matching seed should still hit (%d): %s", code, stderr)
+	}
+	if out != cold {
+		t.Fatal("matching-seed replay output differs")
 	}
 }

@@ -1,0 +1,133 @@
+package impress_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks is the repository's markdown link check (the CI docs job
+// runs it explicitly): every relative link in the root markdown files
+// must point at an existing file, and every fragment link must resolve
+// to a real heading anchor, so the documentation pass cannot rot as
+// files move. External (http/https) links are out of scope — the check
+// must stay hermetic.
+func TestDocLinks(t *testing.T) {
+	// Only documents this repository authors: SNIPPETS.md / PAPERS.md /
+	// PAPER.md quote external material verbatim (dangling links and all)
+	// and ISSUE.md is per-PR scaffolding.
+	docs := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "CHANGES.md", "ROADMAP.md"}
+	for _, doc := range docs {
+		if _, err := os.Stat(doc); err != nil {
+			t.Fatalf("expected root document missing: %v", err)
+		}
+	}
+	for _, doc := range docs {
+		for _, link := range markdownLinks(t, doc) {
+			checkLink(t, doc, link)
+		}
+	}
+}
+
+// linkRE matches inline markdown links [text](target); images share the
+// syntax and are checked the same way.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func markdownLinks(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var links []string
+	for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+		links = append(links, m[1])
+	}
+	return links
+}
+
+func checkLink(t *testing.T, doc, link string) {
+	t.Helper()
+	if strings.HasPrefix(link, "http://") || strings.HasPrefix(link, "https://") ||
+		strings.HasPrefix(link, "mailto:") {
+		return
+	}
+	target, fragment, _ := strings.Cut(link, "#")
+	file := doc
+	if target != "" {
+		file = filepath.Join(filepath.Dir(doc), target)
+		if _, err := os.Stat(file); err != nil {
+			t.Errorf("%s: broken link %q: %v", doc, link, err)
+			return
+		}
+	}
+	if fragment == "" {
+		return
+	}
+	if !strings.HasSuffix(file, ".md") {
+		return // anchors into non-markdown files are browser-defined
+	}
+	anchors, err := headingAnchors(file)
+	if err != nil {
+		t.Errorf("%s: link %q: %v", doc, link, err)
+		return
+	}
+	if !anchors[fragment] {
+		t.Errorf("%s: link %q: no heading in %s produces anchor #%s", doc, link, file, fragment)
+	}
+}
+
+// headingAnchors collects the GitHub-style anchor for every markdown
+// heading in file: lowercase, punctuation stripped, spaces to hyphens,
+// with -N suffixes deduplicating repeats.
+func headingAnchors(file string) (map[string]bool, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	anchors := map[string]bool{}
+	counts := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || !strings.HasPrefix(text, " ") {
+			continue // not a heading (e.g. a #! line)
+		}
+		a := githubAnchor(strings.TrimSpace(text))
+		if n := counts[a]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", a, n)] = true
+		} else {
+			anchors[a] = true
+		}
+		counts[a]++
+	}
+	return anchors, nil
+}
+
+// githubAnchor reduces a heading to its anchor: lowercase, keep
+// letters/digits/spaces/hyphens/underscores, spaces become hyphens.
+func githubAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ':
+			b.WriteRune('-')
+		case r == '-' || r == '_',
+			'a' <= r && r <= 'z',
+			'0' <= r && r <= '9',
+			r > 127: // GitHub keeps non-ASCII letters (e.g. §)
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

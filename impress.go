@@ -17,7 +17,12 @@
 //     WorkloadTrace) with a bit-identical replay guarantee;
 //   - the experiment harness that regenerates every table and figure
 //     (Experiments, QuickScale, FullScale), backed by a concurrent
-//     memoizing run scheduler (ExperimentRunner, ExperimentsParallel).
+//     memoizing run scheduler (ExperimentRunner, ExperimentsParallel);
+//   - a persistent, content-addressed result store (ResultStore,
+//     OpenResultStore) that caches simulation results on disk keyed by
+//     the fully-resolved run configuration, so repeated sweeps — and
+//     sweeps sharded across machines via ExperimentRunner.Shard — pay
+//     for each distinct simulation exactly once.
 //
 // Quick start:
 //
@@ -46,6 +51,7 @@ import (
 	"impress/internal/core"
 	"impress/internal/dram"
 	"impress/internal/experiments"
+	"impress/internal/resultstore"
 	"impress/internal/security"
 	"impress/internal/sim"
 	"impress/internal/stats"
@@ -291,6 +297,31 @@ func DefaultSimConfig(w Workload, d Design, tracker TrackerKind) SimConfig {
 // RunSim executes a performance simulation.
 func RunSim(cfg SimConfig) SimResult { return sim.Run(cfg) }
 
+// ---- Persistent result store (DESIGN.md §8) ----
+
+// ResultStore is an on-disk, content-addressed cache of simulation
+// results, safe for concurrent use across goroutines, processes and
+// machines sharing one directory. Attach one to an ExperimentRunner
+// (its Store field) to make sweeps restartable and shardable, or drive
+// it directly with ResultSpecFor + Get/Put.
+type ResultStore = resultstore.Store
+
+// ResultSpec is the canonical, hashable description of one
+// fully-resolved simulation run — the store's key preimage. Two configs
+// with equal specs are contractually bound to produce bit-identical
+// results (clock mode, for instance, is excluded).
+type ResultSpec = resultstore.Spec
+
+// OpenResultStore opens a result-store directory, creating it if
+// needed.
+func OpenResultStore(dir string) (*ResultStore, error) { return resultstore.Open(dir) }
+
+// ResultSpecFor derives the canonical spec (and thereby the store key)
+// for a simulation config. It fails only when the config replays a
+// trace file that cannot be read (the file's content is part of the
+// key).
+func ResultSpecFor(cfg SimConfig) (ResultSpec, error) { return resultstore.SpecFor(cfg) }
+
 // ---- Experiment harness ----
 
 // ExperimentTable is one regenerated table/figure.
@@ -301,7 +332,9 @@ type ExperimentScale = experiments.Scale
 
 // ExperimentRunner executes and memoizes simulation runs. It is safe for
 // concurrent use; set Parallelism to bound the Prefetch worker pool
-// (0 = GOMAXPROCS). Parallel execution is byte-identical to serial.
+// (0 = GOMAXPROCS). Parallel execution is byte-identical to serial. Set
+// Store to persist results across processes, and Shard to split a sweep
+// across machines merging through one store.
 type ExperimentRunner = experiments.Runner
 
 // ExperimentRunSpec fully describes one simulation run for memoization

@@ -206,3 +206,51 @@ func TestPublicScales(t *testing.T) {
 		t.Fatal("standard scale must cover all workloads")
 	}
 }
+
+func TestPublicResultStore(t *testing.T) {
+	store, err := impress.OpenResultStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := impress.WorkloadByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := impress.DefaultSimConfig(w, impress.NewDesign(impress.ImpressP), impress.TrackerGraphene)
+	cfg.WarmupInstructions, cfg.RunInstructions = 1_000, 5_000
+	sp, err := impress.ResultSpecFor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clock mode must not split the key (all modes are bit-identical).
+	ca := cfg
+	ca.Clock = impress.SimClockCycleAccurate
+	if sp2, err := impress.ResultSpecFor(ca); err != nil || sp2.Key() != sp.Key() {
+		t.Fatalf("clock mode split the result key: %v", err)
+	}
+	if _, ok := store.Get(sp); ok {
+		t.Fatal("empty store must miss")
+	}
+	res := impress.RunSim(cfg)
+	if err := store.Put(sp, res); err != nil {
+		t.Fatal(err)
+	}
+	// A scale-scoped runner sharing the directory serves the result
+	// without simulating.
+	scale := impress.ExperimentScale{
+		Name: "store-api-test", Warmup: 1_000, Run: 5_000, Workloads: []string{"gcc"},
+	}
+	r := impress.NewExperimentRunner(scale)
+	if r.Store, err = impress.OpenResultStore(store.Dir()); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Run(impress.ExperimentRunSpec{
+		Workload: w, Design: impress.NewDesign(impress.ImpressP), Tracker: impress.TrackerGraphene,
+	})
+	if r.Sims() != 0 {
+		t.Fatalf("runner simulated %d times; the store should have served the result", r.Sims())
+	}
+	if got.WeightedIPCSum != res.WeightedIPCSum || got.Cycles != res.Cycles {
+		t.Fatalf("stored result drifted: %+v vs %+v", got, res)
+	}
+}

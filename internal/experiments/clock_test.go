@@ -25,7 +25,7 @@ func TestClockEquivalenceQuickScaleSpecs(t *testing.T) {
 	seen := map[string]bool{}
 	var specs []RunSpec
 	for _, s := range allSimSpecs(r) {
-		if k := s.key(); !seen[k] {
+		if k := string(r.storeSpec(s).Key()); !seen[k] {
 			seen[k] = true
 			specs = append(specs, s)
 		}
@@ -42,8 +42,8 @@ func TestClockEquivalenceQuickScaleSpecs(t *testing.T) {
 		cfg.Clock = sim.ClockCycleAccurate
 		ca := sim.Run(cfg)
 		if !reflect.DeepEqual(ev, ca) {
-			t.Fatalf("spec %s: event-driven result diverged from cycle-accurate:\nEV %+v\nCA %+v",
-				spec.key(), ev, ca)
+			t.Fatalf("spec %s/%s/%s: event-driven result diverged from cycle-accurate:\nEV %+v\nCA %+v",
+				spec.Workload.Name, spec.Design.Name(), spec.Tracker, ev, ca)
 		}
 	}
 }

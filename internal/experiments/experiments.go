@@ -9,10 +9,13 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"impress/internal/core"
+	"impress/internal/resultstore"
 	"impress/internal/sim"
 	"impress/internal/stats"
 	"impress/internal/trace"
@@ -112,9 +115,19 @@ type Runner struct {
 	// callers — they run on the calling goroutine (or wait on an in-flight
 	// duplicate).
 	Parallelism int
+	// Store, when non-nil, is the persistent result cache consulted
+	// before every simulation and written back after. The in-memory memo
+	// and the store share one canonical key (resultstore.SpecFor over the
+	// materialized sim.Config), so the two lookups can never disagree. A
+	// failed store write loses persistence only — the result is still
+	// memoized and returned — and is counted in Store.Counters.
+	Store *resultstore.Store
 
 	mu    sync.Mutex
 	cache map[string]*runEntry
+	// sims counts actual sim.Run executions (memo and store hits
+	// excluded); a warm-store sweep asserts it stays zero.
+	sims atomic.Int64
 }
 
 // runEntry is one memoized (possibly in-flight) simulation. done is closed
@@ -194,15 +207,6 @@ func TRH(v float64) Opt[float64] { return Opt[float64]{Set: true, Value: v} }
 // RFM returns an explicit RFMTH override.
 func RFM(v int) Opt[int] { return Opt[int]{Set: true, Value: v} }
 
-// optKey renders an override for the memo key, keeping "unset" distinct
-// from every explicit value.
-func optKey[T any](o Opt[T]) string {
-	if !o.Set {
-		return "default"
-	}
-	return fmt.Sprint(o.Value)
-}
-
 // RunSpec fully describes one simulation run for memoization. DesignTRH
 // and RFMTH override sim.DefaultConfig only when explicitly set (via TRH
 // and RFM); the zero value keeps the default.
@@ -212,11 +216,6 @@ type RunSpec struct {
 	Tracker   sim.TrackerKind
 	DesignTRH Opt[float64]
 	RFMTH     Opt[int]
-}
-
-func (s RunSpec) key() string {
-	return fmt.Sprintf("%s|%s|%s|%s|%s", s.Workload.Name, s.Design.Name(), s.Tracker,
-		optKey(s.DesignTRH), optKey(s.RFMTH))
 }
 
 // config materializes the sim configuration for this spec at a scale.
@@ -233,11 +232,33 @@ func (s RunSpec) config(scale Scale) sim.Config {
 	return cfg
 }
 
+// storeSpec materializes the canonical resultstore spec for one run at
+// this runner's scale. It is the single key-derivation path: the memo
+// cache keys on storeSpec(spec).Key() and the persistent store looks up
+// the identical Spec, so an in-memory hit and an on-disk hit can never
+// name different simulations.
+func (r *Runner) storeSpec(spec RunSpec) resultstore.Spec {
+	sp, err := resultstore.SpecFor(spec.config(r.Scale))
+	if err != nil {
+		// Unreachable: SpecFor fails only for trace-file replays, which
+		// RunSpec cannot express.
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return sp
+}
+
+// Sims reports how many simulations this runner actually executed —
+// memoized repeats and persistent-store hits are excluded. A second sweep
+// against a warm Store keeps it at zero.
+func (r *Runner) Sims() int64 { return r.sims.Load() }
+
 // Run executes (or recalls) the described simulation. Concurrent calls
 // with the same spec are deduplicated: one goroutine simulates, the rest
-// wait for its result.
+// wait for its result. With a Store attached, the persistent cache is
+// consulted before simulating and written back after.
 func (r *Runner) Run(spec RunSpec) sim.Result {
-	k := spec.key()
+	sp := r.storeSpec(spec)
+	k := string(sp.Key())
 	r.mu.Lock()
 	if r.cache == nil {
 		r.cache = make(map[string]*runEntry)
@@ -262,7 +283,19 @@ func (r *Runner) Run(spec RunSpec) sim.Result {
 		}
 		close(e.done)
 	}()
+	if r.Store != nil {
+		if res, ok := r.Store.Get(sp); ok {
+			e.res = res
+			return e.res
+		}
+	}
 	e.res = sim.Run(spec.config(r.Scale))
+	r.sims.Add(1)
+	if r.Store != nil {
+		// A write failure costs persistence, not correctness; it is
+		// counted in the store's Counters for the CLI summary line.
+		_ = r.Store.Put(sp, e.res)
+	}
 	return e.res
 }
 
@@ -275,7 +308,7 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	seen := make(map[string]bool, len(specs))
 	var todo []RunSpec
 	for _, s := range specs {
-		if k := s.key(); !seen[k] {
+		if k := string(r.storeSpec(s).Key()); !seen[k] {
 			seen[k] = true
 			todo = append(todo, s)
 		}
@@ -319,6 +352,50 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 		panic(panicked)
 	}
 }
+
+// Shard returns the deterministic subset of specs owned by shard index
+// (1-based) out of count. Specs are deduplicated by canonical key and
+// each distinct simulation is assigned to exactly one shard by its key
+// hash, so for any count the shards are pairwise disjoint and their union
+// is the full deduplicated spec set — an exact cover. The assignment
+// depends only on the canonical keys, so every machine in a fleet
+// computes the same partition and the shards merge losslessly through a
+// shared Store.
+func (r *Runner) Shard(specs []RunSpec, index, count int) []RunSpec {
+	if count < 1 || index < 1 || index > count {
+		panic(fmt.Sprintf("experiments: shard %d/%d out of range", index, count))
+	}
+	seen := make(map[string]bool, len(specs))
+	var out []RunSpec
+	for _, s := range specs {
+		k := r.storeSpec(s).Key()
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		if shardOf(k, count) == index-1 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// shardOf maps a canonical key to a shard in [0, count): the key is a
+// sha256, so its leading 60 bits are uniformly distributed and taking
+// them modulo count balances shards to within sampling noise.
+func shardOf(k resultstore.Key, count int) int {
+	v, err := strconv.ParseUint(string(k[:15]), 16, 64)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: malformed result key %q: %v", k, err))
+	}
+	return int(v % uint64(count))
+}
+
+// SimSpecs returns the union of every simulation-backed experiment's run
+// specs — the full spec universe a complete sweep simulates. Shard
+// partitions it for fleet execution; Prefetch deduplicates the overlap
+// between figures (shared baselines).
+func SimSpecs(r *Runner) []RunSpec { return allSimSpecs(r) }
 
 // baselineSpec is the unprotected (no tracker, no defense) run.
 func baselineSpec(w trace.Workload) RunSpec {

@@ -234,19 +234,21 @@ func TestGeoMeanBy(t *testing.T) {
 }
 
 func TestRunSpecKeyDistinguishes(t *testing.T) {
+	r := NewRunner(tinyScale())
 	w, _ := trace.WorkloadByName("gcc")
 	a := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: TRH(4000)}
 	b := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: TRH(2000)}
-	if a.key() == b.key() {
+	if r.storeSpec(a).Key() == r.storeSpec(b).Key() {
 		t.Fatal("different TRH must produce different cache keys")
 	}
 }
 
 func TestRunSpecExplicitZeroDistinctFromDefault(t *testing.T) {
+	r := NewRunner(tinyScale())
 	w, _ := trace.WorkloadByName("gcc")
 	unset := RunSpec{Workload: w, Tracker: sim.TrackerGraphene}
 	zero := RunSpec{Workload: w, Tracker: sim.TrackerGraphene, DesignTRH: TRH(0)}
-	if unset.key() == zero.key() {
+	if r.storeSpec(unset).Key() == r.storeSpec(zero).Key() {
 		t.Fatal("an explicit TRH of 0 must not alias the default")
 	}
 	if unset.RFMTH.Set || zero.RFMTH.Set {

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"impress/internal/resultstore"
+)
+
+// openStore fails the test instead of returning an error.
+func openStore(t *testing.T, dir string) *resultstore.Store {
+	t.Helper()
+	st, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// renderFig3 runs Figure3 through r and returns its rendering.
+func renderFig3(r *Runner) []byte {
+	var buf bytes.Buffer
+	Figure3(r).Render(&buf)
+	return buf.Bytes()
+}
+
+// TestWarmStoreServesIdenticalTablesWithZeroSims is the acceptance
+// criterion of the persistent store: a second runner (a stand-in for a
+// second process — it shares nothing in memory with the first) renders
+// the same table byte-identically from the store alone.
+func TestWarmStoreServesIdenticalTablesWithZeroSims(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := NewRunner(tinyScale())
+	cold.Store = openStore(t, dir)
+	coldTable := renderFig3(cold)
+	if cold.Sims() == 0 {
+		t.Fatal("cold run must simulate")
+	}
+
+	warm := NewRunner(tinyScale())
+	warm.Store = openStore(t, dir)
+	warmTable := renderFig3(warm)
+	if warm.Sims() != 0 {
+		t.Fatalf("warm run executed %d simulations; every result should come from the store", warm.Sims())
+	}
+	if c := warm.Store.Counters(); c.Hits == 0 || c.Misses != 0 {
+		t.Fatalf("warm-run store counters = %+v", c)
+	}
+	if !bytes.Equal(coldTable, warmTable) {
+		t.Fatal("warm-store rendering differs from the cold run")
+	}
+
+	// And an uncached runner agrees, so the store changed nothing.
+	direct := NewRunner(tinyScale())
+	if !bytes.Equal(renderFig3(direct), coldTable) {
+		t.Fatal("cached rendering differs from an uncached run")
+	}
+}
+
+// TestShardPartitionIsExactCover checks the Shard contract for several
+// shard counts: shards are pairwise disjoint and together cover the
+// deduplicated spec universe exactly.
+func TestShardPartitionIsExactCover(t *testing.T) {
+	r := NewRunner(QuickScale())
+	specs := allSimSpecs(r)
+	whole := map[string]bool{}
+	for _, s := range specs {
+		whole[string(r.storeSpec(s).Key())] = true
+	}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		covered := map[string]int{}
+		total := 0
+		for i := 1; i <= n; i++ {
+			shard := r.Shard(specs, i, n)
+			total += len(shard)
+			for _, s := range shard {
+				covered[string(r.storeSpec(s).Key())]++
+			}
+		}
+		if total != len(whole) {
+			t.Errorf("n=%d: shard sizes sum to %d, want the %d deduplicated specs", n, total, len(whole))
+		}
+		for k, c := range covered {
+			if c != 1 {
+				t.Errorf("n=%d: spec %s assigned to %d shards", n, k[:12], c)
+			}
+		}
+		if len(covered) != len(whole) {
+			t.Errorf("n=%d: shards cover %d specs, want %d", n, len(covered), len(whole))
+		}
+	}
+	if r.Sims() != 0 {
+		t.Fatalf("partitioning must not simulate (ran %d)", r.Sims())
+	}
+}
+
+func TestShardRejectsBadIndices(t *testing.T) {
+	r := NewRunner(tinyScale())
+	for _, bad := range [][2]int{{0, 2}, {3, 2}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Shard(%d, %d) must panic", bad[0], bad[1])
+				}
+			}()
+			r.Shard(nil, bad[0], bad[1])
+		}()
+	}
+}
+
+// TestShardedSweepMergesThroughStore populates a shared store from two
+// disjoint shard runners and checks that a third runner assembles the
+// full figure without simulating anything — the merge path of a fleet
+// sweep.
+func TestShardedSweepMergesThroughStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded sweep simulation skipped in -short mode")
+	}
+	dir := t.TempDir()
+	scale := tinyScale()
+
+	reference := NewRunner(scale)
+	want := renderFig3(reference)
+
+	specs := figure3Specs(NewRunner(scale))
+	for i := 1; i <= 2; i++ {
+		shardRunner := NewRunner(scale)
+		shardRunner.Store = openStore(t, dir)
+		shardRunner.Prefetch(shardRunner.Shard(specs, i, 2))
+	}
+
+	merge := NewRunner(scale)
+	merge.Store = openStore(t, dir)
+	if got := renderFig3(merge); !bytes.Equal(got, want) {
+		t.Fatal("merged rendering differs from the single-process run")
+	}
+	if merge.Sims() != 0 {
+		t.Fatalf("merge run executed %d simulations; both shards should have covered the figure", merge.Sims())
+	}
+}

@@ -8,9 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 
 	"impress/internal/core"
 	"impress/internal/dram"
+	"impress/internal/resultstore"
 	"impress/internal/sim"
 	"impress/internal/trace"
 )
@@ -28,6 +30,9 @@ type Flags struct {
 	Run      int64
 	Seed     uint64
 	Clock    string
+	// CacheDir is the persistent result-store directory (-cache-dir,
+	// defaulting to $IMPRESS_CACHE); empty disables caching.
+	CacheDir string
 }
 
 // Register installs the shared flags on fs with the shared defaults and
@@ -46,7 +51,18 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.Uint64Var(&f.Seed, "seed", 1, "simulation seed")
 	fs.StringVar(&f.Clock, "clock", "event",
 		"clocking: event (skip idle cycles), cycle (tick every cycle), lockstep (cross-check both)")
+	fs.StringVar(&f.CacheDir, "cache-dir", os.Getenv("IMPRESS_CACHE"),
+		"persistent result-store directory (default $IMPRESS_CACHE; empty disables caching)")
 	return f
+}
+
+// OpenStore opens the persistent result store named by -cache-dir /
+// $IMPRESS_CACHE, or returns nil (caching disabled) when neither is set.
+func (f *Flags) OpenStore() (*resultstore.Store, error) {
+	if f.CacheDir == "" {
+		return nil, nil
+	}
+	return resultstore.Open(f.CacheDir)
 }
 
 // ParseClock maps a -clock flag value to the simulator mode.
@@ -82,6 +98,42 @@ func (f *Flags) Config(w trace.Workload) (sim.Config, core.Design, error) {
 	cfg.Seed = f.Seed
 	cfg.Clock = clock
 	return cfg, design, nil
+}
+
+// ReplayCacheable reports whether a replayed run may go through the
+// result store. Replays are keyed as the live run of the recorded
+// workload — valid precisely because the replay-equivalence contract
+// makes the two bit-identical — but the contract holds only at the
+// trace's recorded seed: the replay generator always reproduces the
+// recorded stream, while a live generator's stream depends on the seed.
+// A replay whose -seed override departs from the recording therefore
+// must bypass the cache, or it would poison the live run's entry at
+// that seed (and could be served a wrong result from it).
+//
+// The keying also trusts the header: a recording whose streams were not
+// produced by the named workload at the recorded seed (a hand-edited
+// file) breaks the contract undetectably, exactly like a hand-built
+// Workload with a misleading Name (DESIGN.md §8). Do not replay
+// untrusted trace files through a shared store.
+func ReplayCacheable(t *trace.Trace, cfg sim.Config) bool {
+	return cfg.Seed == t.Seed
+}
+
+// StoreForReplay opens the flags' result store for a trace replay,
+// applying the ReplayCacheable rule: when the replay's seed departs
+// from the recording's, a one-line bypass notice goes to stderr and the
+// returned store is nil (caching disabled for this run).
+func (f *Flags) StoreForReplay(t *trace.Trace, cfg sim.Config, stderr io.Writer) (*resultstore.Store, error) {
+	store, err := f.OpenStore()
+	if err != nil || store == nil {
+		return nil, err
+	}
+	if !ReplayCacheable(t, cfg) {
+		fmt.Fprintf(stderr, "[cache bypassed: -seed %d differs from the recorded seed %d]\n",
+			cfg.Seed, t.Seed)
+		return nil, nil
+	}
+	return store, nil
 }
 
 // ApplyTrace loads the recorded trace at path into cfg: the replay
@@ -120,6 +172,50 @@ func Run(cfg sim.Config) (res sim.Result, err error) {
 		}
 	}()
 	return sim.Run(cfg), nil
+}
+
+// RunCached executes the simulation through a persistent result store: a
+// stored result for cfg's canonical spec is returned without simulating
+// (hit reports which path was taken), a miss simulates and writes back.
+// A nil store degrades to Run. Results are bit-identical across clock
+// modes, so the store serves every -clock value from one entry; run
+// without -cache-dir (or use `impress-experiments cache verify`) to force
+// a fresh simulation.
+func RunCached(st *resultstore.Store, cfg sim.Config) (res sim.Result, hit bool, err error) {
+	if st == nil {
+		res, err = Run(cfg)
+		return res, false, err
+	}
+	sp, err := resultstore.SpecFor(cfg)
+	if err != nil {
+		return sim.Result{}, false, err
+	}
+	if res, ok := st.Get(sp); ok {
+		return res, true, nil
+	}
+	if res, err = Run(cfg); err != nil {
+		return res, false, err
+	}
+	// A failed write loses persistence, not the run; it is counted in
+	// st.Counters().WriteErrors for ReportCacheOutcome's warning line.
+	_ = st.Put(sp, res)
+	return res, false, nil
+}
+
+// ReportCacheOutcome prints the standard stderr notices after a
+// RunCached call: where a hit was served from, and whether caching the
+// fresh result failed (persistence lost, run unaffected). A nil store
+// prints nothing.
+func ReportCacheOutcome(stderr io.Writer, st *resultstore.Store, hit bool) {
+	if st == nil {
+		return
+	}
+	if hit {
+		fmt.Fprintf(stderr, "[result served from cache %s]\n", st.Dir())
+	}
+	if st.Counters().WriteErrors > 0 {
+		fmt.Fprintf(stderr, "[warning: caching the result in %s failed]\n", st.Dir())
+	}
 }
 
 // PrintResult writes the standard performance summary shared by the
