@@ -210,6 +210,7 @@ func benchmarkRunClock(b *testing.B, clock impress.SimClockMode) {
 		cfg.WarmupInstructions = 10_000
 		cfg.RunInstructions = 50_000
 		cfg.Clock = clock
+		//lint:ignore SA1019 the benchmark pins the deprecated wrapper's cost
 		impress.RunSim(cfg)
 	}
 }

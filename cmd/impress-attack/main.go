@@ -1,7 +1,9 @@
 // Command impress-attack replays an adversarial DRAM pattern against a
 // (tracker, defense) pair on the single-bank security harness and reports
 // the peak victim damage — the empirical effective threshold of the
-// configuration.
+// configuration. The run goes through an impress.Lab under a
+// SIGINT/SIGTERM-aware context, so long multi-window attacks cancel
+// cleanly.
 //
 // Examples:
 //
@@ -15,10 +17,12 @@ import (
 	"fmt"
 	"os"
 
+	"impress"
 	"impress/internal/attack"
 	"impress/internal/core"
 	"impress/internal/dram"
 	"impress/internal/security"
+	"impress/internal/simcli"
 	"impress/internal/stats"
 	"impress/internal/trackers"
 )
@@ -96,7 +100,21 @@ func main() {
 		Duration:  dram.Tick(*windows) * tm.TREFW,
 		Tracker:   factory,
 	}
-	res := security.Run(cfg, pattern)
+	ctx, stop := simcli.SignalContext()
+	defer stop()
+	lab, err := impress.NewLab()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := lab.Attack(ctx, cfg, pattern)
+	if err != nil {
+		if simcli.ReportInterrupted(os.Stderr, err, "") {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	fmt.Printf("pattern:          %s\n", res.Pattern)
 	fmt.Printf("design:           %s (tracker tuned to T*=%.0f)\n", design.Name(), design.TrackerTRH(*trh))

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,20 +41,26 @@ import (
 	"strings"
 	"time"
 
+	"impress"
 	"impress/internal/experiments"
 	"impress/internal/resultstore"
 	"impress/internal/simcli"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := simcli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run executes the CLI and returns the process exit code; it is the
-// testable seam for the command.
-func run(args []string, stdout, stderr io.Writer) int {
+// testable seam for the command. ctx carries SIGINT/SIGTERM: an
+// interrupted sweep stops within one simulation boundary, flushes
+// nothing partial (store writes are atomic, completed entries persist),
+// prints a resume hint and exits non-zero.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) > 0 && args[0] == "cache" {
-		return runCache(args[1:], stdout, stderr)
+		return runCache(ctx, args[1:], stdout, stderr)
 	}
 	fs := flag.NewFlagSet("impress-experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -91,8 +98,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	runner := experiments.NewRunner(scale)
-	runner.Parallelism = *parallel
 	var store *resultstore.Store
 	if *cacheDir != "" {
 		var err error
@@ -100,7 +105,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
-		runner.Store = store
 	}
 
 	if *shard != "" {
@@ -108,80 +112,96 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "-shard populates the result store only; it cannot combine with -only, -analytical or -out")
 			return 2
 		}
-		return runShard(runner, store, *shard, stdout, stderr)
+		runner := experiments.NewRunner(scale)
+		runner.Parallelism = *parallel
+		runner.Store = store
+		return runShard(ctx, runner, store, *shard, stdout, stderr)
 	}
 
-	all := experimentList(runner)
-	specs := all
-	if *analytical {
-		specs = filterAnalytical(all)
-	}
-
-	want := map[string]bool{}
+	var ids []string
 	if *only != "" {
-		active := map[string]bool{}
-		for _, s := range specs {
-			active[s.id] = true
-		}
-		known := map[string]bool{}
-		for _, s := range all {
-			known[s.id] = true
-		}
 		for _, id := range strings.Split(*only, ",") {
-			id = strings.TrimSpace(id)
-			if id == "" {
-				continue // tolerate stray commas: -only fig3,
-			}
-			switch {
-			case active[id]:
-				want[id] = true
-			case known[id]:
-				fmt.Fprintf(stderr, "experiment %q is simulation-backed; drop -analytical to run it\n", id)
-				return 2
-			default:
-				fmt.Fprintf(stderr, "unknown experiment ID %q (known: %s)\n",
-					id, strings.Join(knownIDs(all), ", "))
-				return 2
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id) // tolerate stray commas: -only fig3,
 			}
 		}
-		if len(want) == 0 {
+		if len(ids) == 0 {
 			fmt.Fprintf(stderr, "-only %q names no experiments\n", *only)
 			return 2
 		}
 	}
 
-	// Build lazily so -only skips expensive experiments entirely; emit each
-	// table as soon as it is ready so long runs produce partial results.
-	// Each simulation-backed experiment prefetches its full run set over
-	// the runner's worker pool before assembling its table.
-	for _, spec := range specs {
-		if len(want) > 0 && !want[spec.id] {
-			continue
-		}
-		start := time.Now()
-		t := spec.build()
-		fmt.Fprintf(stderr, "[%s done in %v]\n", spec.id, time.Since(start).Round(time.Millisecond))
+	// The sweep runs through an impress.Lab: the progress stream feeds
+	// the cache accounting (replacing the old ad-hoc stderr prints), and
+	// each table streams out as soon as it is assembled so long runs
+	// produce partial results.
+	var counts simcli.Counts
+	lab, err := impress.NewLab(
+		impress.WithResultStore(store),
+		impress.WithParallelism(*parallel),
+		impress.WithProgress(counts.Observe),
+	)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	opts := []impress.ExperimentsOption{}
+	if len(ids) > 0 {
+		opts = append(opts, impress.ExperimentsOnly(ids...))
+	}
+	if *analytical {
+		opts = append(opts, impress.ExperimentsAnalytical())
+	}
+	// A failed -out write aborts the sweep (cancelling runCtx) instead
+	// of burning the remaining simulations against a full disk or bad
+	// path; the write error is reported in place of the induced
+	// cancellation.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	last := time.Now()
+	var writeErr error
+	opts = append(opts, impress.ExperimentsOnTable(func(t *impress.ExperimentTable) {
+		fmt.Fprintf(stderr, "[%s done in %v]\n", t.ID, time.Since(last).Round(time.Millisecond))
+		last = time.Now()
 		t.Render(stdout)
-		if *outDir != "" {
-			if err := writeTable(*outDir, t); err != nil {
-				fmt.Fprintln(stderr, err)
-				return 1
+		if *outDir != "" && writeErr == nil {
+			if writeErr = writeTable(*outDir, t); writeErr != nil {
+				cancelRun()
 			}
 		}
-	}
+	}))
+	_, err = lab.Experiments(runCtx, scale, opts...)
 	if store != nil {
-		fmt.Fprintln(stderr, cacheSummary(runner, store))
+		fmt.Fprintln(stderr, cacheSummary(&counts, store))
+	}
+	if writeErr != nil {
+		fmt.Fprintln(stderr, writeErr)
+		return 1
+	}
+	if err != nil {
+		if simcli.ReportInterrupted(stderr, err, *cacheDir) {
+			if *cacheDir == "" {
+				simcli.SuggestStore(stderr)
+			}
+			return 1
+		}
+		fmt.Fprintln(stderr, err)
+		if simcli.UsageError(err) {
+			return 2
+		}
+		return 1
 	}
 	return 0
 }
 
 // cacheSummary renders the one-line store accounting emitted (on stderr)
 // after any cached run: "simulated=0" is the signature of a fully warm
-// sweep.
-func cacheSummary(r *experiments.Runner, store *resultstore.Store) string {
+// sweep. The simulated count comes from the Lab's progress stream (one
+// ProgressSpecFinished per actual simulation).
+func cacheSummary(counts *simcli.Counts, store *resultstore.Store) string {
 	c := store.Counters()
 	return fmt.Sprintf("[cache] simulated=%d hits=%d misses=%d writes=%d write-errors=%d dir=%s",
-		r.Sims(), c.Hits, c.Misses, c.Writes, c.WriteErrors, store.Dir())
+		counts.Simulated, c.Hits, c.Misses, c.Writes, c.WriteErrors, store.Dir())
 }
 
 // parseShard parses a 1-based "i/n" shard spec, rejecting anything but
@@ -208,7 +228,7 @@ func parseShard(s string) (index, count int, err error) {
 // the shared result store. It renders no tables: after every shard of a
 // fleet has run, any plain invocation against the same -cache-dir
 // assembles all of them with zero simulations.
-func runShard(runner *experiments.Runner, store *resultstore.Store, shard string, stdout, stderr io.Writer) int {
+func runShard(ctx context.Context, runner *experiments.Runner, store *resultstore.Store, shard string, stdout, stderr io.Writer) int {
 	index, count, err := parseShard(shard)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -221,7 +241,15 @@ func runShard(runner *experiments.Runner, store *resultstore.Store, shard string
 	specs := experiments.SimSpecs(runner)
 	mine := runner.Shard(specs, index, count)
 	start := time.Now()
-	runner.Prefetch(mine)
+	if err := runner.PrefetchContext(ctx, mine); err != nil {
+		if simcli.ReportInterrupted(stderr, err, store.Dir()) {
+			fmt.Fprintf(stderr, "shard %d/%d: %d of %d owned specs were simulated before the interrupt\n",
+				index, count, runner.Sims(), len(mine))
+			return 1
+		}
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
 	c := store.Counters()
 	fmt.Fprintf(stdout, "shard %d/%d: %d specs owned, simulated=%d hits=%d writes=%d in %v\n",
 		index, count, len(mine), runner.Sims(), c.Hits, c.Writes,
@@ -236,7 +264,7 @@ func runShard(runner *experiments.Runner, store *resultstore.Store, shard string
 
 // runCache dispatches the `impress-experiments cache <action>` subcommand
 // over a store directory: stats, gc or verify.
-func runCache(args []string, stdout, stderr io.Writer) int {
+func runCache(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
 		fmt.Fprintln(stderr, "usage: impress-experiments cache stats|gc|verify [-cache-dir DIR]")
 		return 2
@@ -268,7 +296,7 @@ func runCache(args []string, stdout, stderr io.Writer) int {
 	case "gc":
 		return cacheGC(store, stdout, stderr)
 	case "verify":
-		return cacheVerify(store, *sample, stdout, stderr)
+		return cacheVerify(ctx, store, *sample, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "impress-experiments cache: unknown action %q (want stats, gc or verify)\n", action)
 		return 2
@@ -313,7 +341,7 @@ func cacheGC(store *resultstore.Store, stdout, stderr io.Writer) int {
 // resultstore.FormatVersion bump (or the store was tampered with); the
 // fix is bumping the version (or gc-ing after one) so stale entries
 // become misses.
-func cacheVerify(store *resultstore.Store, sample int, stdout, stderr io.Writer) int {
+func cacheVerify(ctx context.Context, store *resultstore.Store, sample int, stdout, stderr io.Writer) int {
 	entries, err := store.Entries()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -335,8 +363,11 @@ func cacheVerify(store *resultstore.Store, sample int, stdout, stderr io.Writer)
 			skipped++
 			continue
 		}
-		res, err := simcli.Run(cfg)
+		res, err := simcli.Run(ctx, cfg)
 		if err != nil {
+			if simcli.ReportInterrupted(stderr, err, store.Dir()) {
+				return 1
+			}
 			fmt.Fprintf(stderr, "verify %s: %v\n", label, err)
 			return 1
 		}
@@ -373,67 +404,6 @@ func sampleEntries(entries []resultstore.Entry, n int) []resultstore.Entry {
 		picked = append(picked, entries[i*len(entries)/n])
 	}
 	return picked
-}
-
-type spec struct {
-	id         string
-	analytical bool
-	build      func() *experiments.Table
-}
-
-func experimentList(r *experiments.Runner) []spec {
-	a := func(id string, build func() *experiments.Table) spec {
-		return spec{id: id, analytical: true, build: build}
-	}
-	s := func(id string, build func() *experiments.Table) spec {
-		return spec{id: id, build: build}
-	}
-	return []spec{
-		a("table1", experiments.TableI),
-		a("table2", experiments.TableII),
-		s("fig3", func() *experiments.Table { return experiments.Figure3(r) }),
-		a("fig4", experiments.Figure4),
-		s("fig5", func() *experiments.Table { return experiments.Figure5(r) }),
-		a("fig6", experiments.Figure6),
-		a("fig7", experiments.Figure7),
-		a("fig8", experiments.Figure8),
-		a("eq5", experiments.ImpressNWorstCase),
-		a("fig12", experiments.Figure12),
-		s("fig13", func() *experiments.Table { return experiments.Figure13(r) }),
-		a("table3", experiments.TableIII),
-		s("fig14", func() *experiments.Table { return experiments.Figure14(r) }),
-		s("energy", func() *experiments.Table { return experiments.EnergyTable(r) }),
-		s("fig15", func() *experiments.Table { return experiments.Figure15(r) }),
-		s("fig16", func() *experiments.Table { return experiments.Figure16(r) }),
-		a("fig18", experiments.Figure18),
-		a("fig19", experiments.Figure19),
-		a("storage", experiments.StorageTable),
-		a("security", experiments.SecuritySummary),
-		a("prac", experiments.PRACTable),
-		a("dsac", experiments.RelatedWorkDSAC),
-		a("ablation-rfm", func() *experiments.Table {
-			return experiments.AblationRFMPacingParallel(r.Parallelism)
-		}),
-	}
-}
-
-func filterAnalytical(specs []spec) []spec {
-	var out []spec
-	for _, s := range specs {
-		if s.analytical {
-			out = append(out, s)
-		}
-	}
-	return out
-}
-
-func knownIDs(specs []spec) []string {
-	ids := make([]string, len(specs))
-	for i, s := range specs {
-		ids[i] = s.id
-	}
-	sort.Strings(ids)
-	return ids
 }
 
 func writeTable(dir string, t *experiments.Table) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,7 +22,7 @@ func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	t.Setenv("IMPRESS_CACHE", "")
 	var out, errBuf bytes.Buffer
-	code = run(args, &out, &errBuf)
+	code = run(context.Background(), args, &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }
 
@@ -84,7 +85,11 @@ func TestCacheStatsGCVerify(t *testing.T) {
 		t.Fatal(err)
 	}
 	// One genuine entry (verify re-simulates it and must agree) ...
-	if _, _, err := simcli.RunCached(store, tinyConfig(t)); err != nil {
+	lab, err := simcli.NewLab(store, &simcli.Counts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simcli.RunLab(context.Background(), lab, tinyConfig(t)); err != nil {
 		t.Fatal(err)
 	}
 	// ... plus one corrupt file for stats/gc to report.
@@ -161,7 +166,11 @@ func TestCacheVerifyFlagsTamperedEntry(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := tinyConfig(t)
-	res, _, err := simcli.RunCached(store, cfg)
+	lab, err := simcli.NewLab(store, &simcli.Counts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := simcli.RunLab(context.Background(), lab, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,5 +243,77 @@ func TestShardPopulateSummaries(t *testing.T) {
 	code, out, _ = runCLI(t, "-shard", "40/300", "-cache-dir", dir)
 	if code != 0 || !strings.Contains(out, "simulated=0") {
 		t.Fatalf("second shard run should be fully cached (exit %d):\n%s", code, out)
+	}
+}
+
+// TestUnknownOnlyIDExits2: unknown experiment IDs surface as usage
+// errors (the registry now lives in internal/experiments and reports a
+// typed ErrBadSpec naming the known set).
+func TestUnknownOnlyIDExits2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-only", "fig999")
+	if code != 2 || !strings.Contains(stderr, "unknown experiment ID") {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+	code, _, stderr = runCLI(t, "-analytical", "-only", "fig3")
+	if code != 2 || !strings.Contains(stderr, "simulation-backed") {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+}
+
+// TestInterruptedSweepHintsResume is the ISSUE satellite: an
+// interrupted sweep exits non-zero and points at the cache directory to
+// resume from. A pre-cancelled context stands in for SIGINT (main wires
+// SIGINT/SIGTERM to the same ctx via simcli.SignalContext).
+func TestInterruptedSweepHintsResume(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("IMPRESS_CACHE", "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	code := run(ctx, []string{"-only", "fig3", "-cache-dir", dir}, &out, &errBuf)
+	stderr := errBuf.String()
+	if code != 1 {
+		t.Fatalf("interrupted sweep exit %d (want 1):\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "interrupted:") ||
+		!strings.Contains(stderr, "resume by rerunning with the same -cache-dir "+dir) {
+		t.Fatalf("interrupt notice/resume hint missing:\n%s", stderr)
+	}
+	// The cache summary still renders, from the progress stream.
+	if !strings.Contains(stderr, "[cache] simulated=0") {
+		t.Fatalf("cache summary missing:\n%s", stderr)
+	}
+}
+
+// TestInterruptedShardHintsResume: shard populate mode reports progress
+// made before the interrupt and the resume hint.
+func TestInterruptedShardHintsResume(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv("IMPRESS_CACHE", "")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errBuf bytes.Buffer
+	code := run(ctx, []string{"-shard", "1/300", "-cache-dir", dir}, &out, &errBuf)
+	stderr := errBuf.String()
+	if code != 1 || !strings.Contains(stderr, "interrupted:") {
+		t.Fatalf("interrupted shard exit %d:\n%s\n%s", code, out.String(), stderr)
+	}
+	if !strings.Contains(stderr, "owned specs were simulated before the interrupt") {
+		t.Fatalf("shard interrupt summary missing:\n%s", stderr)
+	}
+}
+
+// TestOutWriteFailureAbortsRun: a failed -out write exits 1 with the
+// write error (and cancels the rest of the sweep rather than burning
+// the remaining simulations).
+func TestOutWriteFailureAbortsRun(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// -out under an existing regular file: MkdirAll fails on the first table.
+	code, _, stderr := runCLI(t, "-analytical", "-only", "table1,table2", "-out", filepath.Join(blocker, "sub"))
+	if code != 1 || !strings.Contains(stderr, "not a directory") {
+		t.Fatalf("exit %d:\n%s", code, stderr)
 	}
 }

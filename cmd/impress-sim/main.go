@@ -19,11 +19,18 @@
 // so a configuration an experiment sweep already simulated returns
 // instantly. Results are bit-identical across -clock modes, so one
 // cache entry serves all three; omit the flag to force a live run.
+//
+// The run is driven through an impress.Lab under a SIGINT/SIGTERM-aware
+// context: ctrl-C stops the simulator at its next macro cycle and the
+// command exits non-zero (with a resume hint when a cache directory is
+// in play).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"impress/internal/resultstore"
@@ -32,12 +39,27 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "copy",
+	ctx, stop := simcli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code; it is the
+// testable seam for the command.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("impress-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "copy",
 		"workload spec: a built-in name (see -list), mix:a,b,... or attack:<pattern>")
-	traceFile := flag.String("trace", "", "replay this recorded trace file instead of -workload")
-	list := flag.Bool("list", false, "list available workloads and exit")
-	simFlags := simcli.Register(flag.CommandLine)
-	flag.Parse()
+	traceFile := fs.String("trace", "", "replay this recorded trace file instead of -workload")
+	list := fs.Bool("list", false, "list available workloads and exit")
+	simFlags := simcli.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, w := range trace.Workloads() {
@@ -45,49 +67,65 @@ func main() {
 			if w.Stream {
 				class = "stream"
 			}
-			fmt.Printf("%-12s %s\n", w.Name, class)
+			fmt.Fprintf(stdout, "%-12s %s\n", w.Name, class)
 		}
-		fmt.Println("(also: mix:<entry>,<entry>,... per-core co-runs and attack:<pattern> aggressors)")
-		return
+		fmt.Fprintln(stdout, "(also: mix:<entry>,<entry>,... per-core co-runs and attack:<pattern> aggressors)")
+		return 0
 	}
 
 	var w trace.Workload
 	if *traceFile == "" {
 		var err error
 		if w, err = trace.WorkloadByName(*workload); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	}
 	cfg, design, err := simFlags.Config(w)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	var replayed *trace.Trace
 	if *traceFile != "" {
-		if replayed, err = simFlags.ApplyTrace(&cfg, flag.CommandLine, *traceFile); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+		if replayed, err = simFlags.ApplyTrace(&cfg, fs, *traceFile); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	}
 
 	var store *resultstore.Store
 	if replayed != nil {
-		store, err = simFlags.StoreForReplay(replayed, cfg, os.Stderr)
+		store, err = simFlags.StoreForReplay(replayed, cfg, stderr)
 	} else {
 		store, err = simFlags.OpenStore()
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	res, hit, err := simcli.RunCached(store, cfg)
+	var counts simcli.Counts
+	lab, err := simcli.NewLab(store, &counts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	simcli.ReportCacheOutcome(os.Stderr, store, hit)
-	fmt.Printf("workload:        %s\n", res.Workload)
-	simcli.PrintResult(os.Stdout, res, design, simFlags.Tracker, simFlags.TRH)
+	res, err := simcli.RunLab(ctx, lab, cfg)
+	if err != nil {
+		if simcli.ReportInterrupted(stderr, err, simFlags.CacheDir) {
+			if simFlags.CacheDir == "" {
+				simcli.SuggestStore(stderr)
+			}
+			return 1
+		}
+		fmt.Fprintln(stderr, err)
+		if simcli.UsageError(err) {
+			return 2
+		}
+		return 1
+	}
+	simcli.ReportCacheOutcome(stderr, store, counts.CacheHits > 0)
+	fmt.Fprintf(stdout, "workload:        %s\n", res.Workload)
+	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)
+	return 0
 }

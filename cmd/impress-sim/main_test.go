@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// cli invokes the command's testable entry point under ctx. The
+// developer's IMPRESS_CACHE is neutralized so no test touches a real
+// store directory.
+func cli(t *testing.T, ctx context.Context, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	t.Setenv("IMPRESS_CACHE", "")
+	var out, errOut strings.Builder
+	code = run(ctx, args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestTinyRunSucceeds(t *testing.T) {
+	code, stdout, stderr := cli(t, context.Background(),
+		"-workload", "gcc", "-warmup", "1000", "-instructions", "5000")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "workload:        gcc") || !strings.Contains(stdout, "IPC (sum/core):") {
+		t.Fatalf("summary missing:\n%s", stdout)
+	}
+}
+
+// TestBadSpecExits2: typed input errors surfacing from the run itself
+// (not just flag parsing) are usage errors, exit 2.
+func TestBadSpecExits2(t *testing.T) {
+	code, _, stderr := cli(t, context.Background(), "-workload", "gcc", "-instructions", "-1")
+	if code != 2 || !strings.Contains(stderr, "invalid specification") {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+}
+
+func TestUnknownWorkloadExits2(t *testing.T) {
+	code, _, stderr := cli(t, context.Background(), "-workload", "nope")
+	if code != 2 || !strings.Contains(stderr, "unknown workload") {
+		t.Fatalf("exit %d:\n%s", code, stderr)
+	}
+}
+
+// TestInterruptedRunExitsNonZeroWithHint is the signal-context contract
+// (SIGINT/SIGTERM cancel the run's ctx): a cancelled run exits non-zero
+// and tells the user how to make runs resumable.
+func TestInterruptedRunExitsNonZeroWithHint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, stderr := cli(t, ctx, "-workload", "gcc")
+	if code != 1 {
+		t.Fatalf("interrupted run exit %d (want 1):\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "interrupted:") || !strings.Contains(stderr, "-cache-dir") {
+		t.Fatalf("interrupt notice/hint missing:\n%s", stderr)
+	}
+}
+
+// TestInterruptedCachedRunHintsResume: with a store attached the hint
+// names the directory to resume from.
+func TestInterruptedCachedRunHintsResume(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	code, _, stderr := cli(t, ctx, "-workload", "gcc", "-cache-dir", dir)
+	if code != 1 {
+		t.Fatalf("interrupted run exit %d (want 1):\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "resume by rerunning with the same -cache-dir "+dir) {
+		t.Fatalf("resume hint missing:\n%s", stderr)
+	}
+}

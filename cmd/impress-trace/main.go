@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -30,12 +31,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := simcli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run dispatches the subcommand and returns the process exit code; it is
-// the testable seam for the CLI.
-func run(args []string, stdout, stderr io.Writer) int {
+// the testable seam for the CLI. ctx carries the CLI's SIGINT/SIGTERM
+// cancellation into the recording and replay runs.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	sub := "characterize"
 	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
 		sub = args[0]
@@ -45,11 +49,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "characterize":
 		return runCharacterize(args, stdout, stderr)
 	case "record":
-		return runRecord(args, stdout, stderr)
+		return runRecord(ctx, args, stdout, stderr)
 	case "info":
 		return runInfo(args, stdout, stderr)
 	case "replay":
-		return runReplay(args, stdout, stderr)
+		return runReplay(ctx, args, stdout, stderr)
 	case "help":
 		usage(stdout)
 		return 0
@@ -93,6 +97,10 @@ func runCharacterize(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *n <= 0 {
+		fmt.Fprintln(stderr, "impress-trace characterize: -n must be positive")
+		return 2
+	}
 
 	var workloads []trace.Workload
 	if *name != "" {
@@ -124,7 +132,7 @@ func class(w trace.Workload) string {
 	return "spec"
 }
 
-func runRecord(args []string, stdout, stderr io.Writer) int {
+func runRecord(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("impress-trace record", stderr)
 	name := fs.String("workload", "", "workload spec to record (required)")
 	out := fs.String("o", "", "output trace file (required)")
@@ -147,7 +155,22 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	t := trace.Record(w, *cores, *n, *seed)
+	lab, err := simcli.NewLab(nil, &simcli.Counts{})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	t, err := lab.Record(ctx, w, *cores, *n, *seed)
+	if err != nil {
+		if simcli.ReportInterrupted(stderr, err, "") {
+			return 1
+		}
+		fmt.Fprintln(stderr, err)
+		if simcli.UsageError(err) {
+			return 2
+		}
+		return 1
+	}
 	if err := t.WriteFile(*out); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -166,6 +189,10 @@ func runInfo(args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("impress-trace info", stderr)
 	sample := fs.Int("sample", 100_000, "max requests to characterize per core")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *sample <= 0 {
+		fmt.Fprintln(stderr, "impress-trace info: -sample must be positive")
 		return 2
 	}
 	if fs.NArg() != 1 {
@@ -202,7 +229,7 @@ func runInfo(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-func runReplay(args []string, stdout, stderr io.Writer) int {
+func runReplay(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := newFlagSet("impress-trace replay", stderr)
 	simFlags := simcli.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -228,18 +255,33 @@ func runReplay(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
 		return 2
 	}
-	// simcli.RunCached converts panics — e.g. a recording too short for
-	// the requested run — into a clean CLI error, and serves warm
-	// -cache-dir runs without simulating. Replays are keyed exactly like
-	// the live run of the recorded workload (the replay-equivalence
-	// contract makes them interchangeable), so a replay can hit an entry
-	// a live run produced and vice versa.
-	res, hit, err := simcli.RunCached(store, cfg)
+	// The Lab serves warm -cache-dir runs without simulating, and
+	// simcli.RunLab converts internal panics — e.g. a recording too
+	// short for the requested run — into a clean CLI error. Replays are
+	// keyed exactly like the live run of the recorded workload (the
+	// replay-equivalence contract makes them interchangeable), so a
+	// replay can hit an entry a live run produced and vice versa.
+	var counts simcli.Counts
+	lab, err := simcli.NewLab(store, &counts)
 	if err != nil {
 		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
+		return 2
+	}
+	res, err := simcli.RunLab(ctx, lab, cfg)
+	if err != nil {
+		if simcli.ReportInterrupted(stderr, err, simFlags.CacheDir) {
+			if simFlags.CacheDir == "" {
+				simcli.SuggestStore(stderr)
+			}
+			return 1
+		}
+		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
+		if simcli.UsageError(err) {
+			return 2
+		}
 		return 1
 	}
-	simcli.ReportCacheOutcome(stderr, store, hit)
+	simcli.ReportCacheOutcome(stderr, store, counts.CacheHits > 0)
 	fmt.Fprintf(stdout, "trace:           %s (%d cores, seed %d)\n", t.Name, len(t.PerCore), t.Seed)
 	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)
 	return 0

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,7 +20,7 @@ func cli(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
 	t.Setenv("IMPRESS_CACHE", "")
 	var out, errOut strings.Builder
-	code = run(args, &out, &errOut)
+	code = run(context.Background(), args, &out, &errOut)
 	return code, out.String(), errOut.String()
 }
 

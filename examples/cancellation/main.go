@@ -1,0 +1,91 @@
+// This example exercises the Lab's run lifecycle (DESIGN.md §9): a
+// progress-observed experiment sweep is cancelled mid-flight from its
+// own progress stream, the typed error is classified with errors.Is,
+// and a second sweep against the same result store resumes warm —
+// everything simulated before the cancel is served from disk.
+//
+// It doubles as the CI cancelled-run smoke test, so it exits non-zero
+// if any lifecycle guarantee fails.
+//
+// Run with: go run ./examples/cancellation
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+
+	"impress"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "impress-cancel-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A tiny sweep: one figure's specs at quick scale, serial so the
+	// event stream is deterministic.
+	const cancelAfter = 3 // simulations to let finish before cancelling
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	finished := 0
+	lab, err := impress.NewLab(
+		impress.WithStore(dir),
+		impress.WithParallelism(1),
+		impress.WithProgress(func(p impress.Progress) {
+			fmt.Printf("  [progress] %s\n", p)
+			if p.Kind == impress.ProgressSpecFinished {
+				if finished++; finished == cancelAfter {
+					cancel() // stop the sweep from inside its own stream
+				}
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sweep 1: cancelled after", cancelAfter, "simulations")
+	_, err = lab.Experiments(ctx, impress.QuickScale(), impress.ExperimentsOnly("fig3"))
+	switch {
+	case err == nil:
+		log.Fatal("the cancelled sweep reported success")
+	case !errors.Is(err, impress.ErrCancelled) || !errors.Is(err, context.Canceled):
+		log.Fatalf("want a typed cancellation error, got: %v", err)
+	}
+	fmt.Printf("  typed error as expected: %v\n", err)
+
+	// The warm rerun: everything the first sweep completed is served
+	// from the store; only the remainder simulates.
+	fmt.Println("sweep 2: resuming from", dir)
+	var resumed struct{ hits, simulated int }
+	lab2, err := impress.NewLab(
+		impress.WithStore(dir),
+		impress.WithParallelism(1),
+		impress.WithProgress(func(p impress.Progress) {
+			switch p.Kind {
+			case impress.ProgressSpecCacheHit:
+				resumed.hits++
+			case impress.ProgressSpecFinished:
+				resumed.simulated++
+			}
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tables, err := lab2.Experiments(context.Background(), impress.QuickScale(), impress.ExperimentsOnly("fig3"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  resumed warm: %d served from the store, %d simulated, %d table(s) rendered\n",
+		resumed.hits, resumed.simulated, len(tables))
+	if resumed.hits < cancelAfter {
+		log.Fatalf("resume served only %d cached results; the cancelled sweep should have persisted %d",
+			resumed.hits, cancelAfter)
+	}
+}

@@ -1,23 +1,26 @@
-// Quickstart: the unified charge-loss model and the ImPress-P conversion
-// of Row-Press time into equivalent activations.
+// Quickstart: the unified charge-loss model, the ImPress-P conversion
+// of Row-Press time into equivalent activations, and a first simulation
+// through the Lab — the context-first public API every run goes
+// through.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"impress/internal/clm"
-	"impress/internal/dram"
+	"impress"
 )
 
 func main() {
-	tm := dram.DDR5()
+	tm := impress.DDR5()
 
 	// 1. The unified charge-loss model (Section IV): one number for any
 	// interleaving of Rowhammer and Row-Press.
-	model := clm.New(clm.AlphaLongDuration) // alpha = 0.48 covers all devices
-	pattern := []clm.Access{
+	model := impress.NewModel(impress.AlphaLongDuration) // alpha = 0.48 covers all devices
+	pattern := []impress.ChargeAccess{
 		{TON: tm.TRAS},            // a plain Rowhammer activation
 		{TON: tm.TRAS + 4*tm.TRC}, // a short Row-Press hold
 		{TON: tm.TREFI},           // a full-tREFI Row-Press hold
@@ -30,7 +33,7 @@ func main() {
 	// bit at TRH = 4000 as the row-open time grows.
 	fmt.Println("\nactivations needed for a bit flip (TRH = 4000):")
 	for _, tonTRC := range []int64{1, 2, 8, 81, 406} {
-		tON := tm.TRAS + dram.Tick(tonTRC-1)*tm.TRC
+		tON := tm.TRAS + impress.Tick(tonTRC-1)*tm.TRC
 		rounds := model.RoundsToFlip(tON, 4000)
 		fmt.Printf("  tON = %4d tRC: %6d rounds (%.0fx fewer than Rowhammer)\n",
 			tonTRC, rounds, 4000/float64(rounds))
@@ -38,9 +41,9 @@ func main() {
 
 	// 3. ImPress-P's fix: measure tON, convert to an Equivalent
 	// Activation Count, and feed the existing Rowhammer tracker.
-	calc := clm.NewCalculator(tm)
+	calc := impress.NewEACTCalculator(tm)
 	fmt.Println("\nImPress-P EACT conversion (Fig. 11):")
-	for _, tON := range []dram.Tick{tm.TRAS, tm.TRAS + tm.TRC/2, tm.TRAS + tm.TRC, tm.TREFI} {
+	for _, tON := range []impress.Tick{tm.TRAS, tm.TRAS + tm.TRC/2, tm.TRAS + tm.TRC, tm.TREFI} {
 		e := calc.FromTON(tON)
 		fmt.Printf("  tON = %6d ns -> EACT = %.3f\n", tON.ToNs(), e.Float())
 	}
@@ -49,6 +52,27 @@ func main() {
 	// threshold.
 	fmt.Println("\neffective threshold vs fractional EACT bits:")
 	for _, b := range []int{0, 4, 6, 7} {
-		fmt.Printf("  b = %d: T*/TRH = %.3f\n", b, clm.FracBitsEffectiveThreshold(b))
+		fmt.Printf("  b = %d: T*/TRH = %.3f\n", b, impress.FracBitsEffectiveThreshold(b))
 	}
+
+	// 5. A first full-system simulation through the Lab: ImPress-P under
+	// a Graphene tracker on a streaming workload. Lab runs are
+	// cancellable (the ctx argument) and return errors instead of
+	// panicking; see examples/cancellation for the full lifecycle.
+	lab, err := impress.NewLab()
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := impress.WorkloadByName("copy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := impress.DefaultSimConfig(w, impress.NewDesign(impress.ImpressP), impress.TrackerGraphene)
+	cfg.WarmupInstructions, cfg.RunInstructions = 20_000, 100_000
+	res, err := lab.Run(context.Background(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %s under ImPress-P + Graphene: IPC sum %.3f over %d cycles\n",
+		res.Workload, res.WeightedIPCSum, res.Cycles)
 }

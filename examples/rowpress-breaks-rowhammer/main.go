@@ -1,40 +1,43 @@
 // This example reproduces the paper's motivation and headline result in
 // one run: a Graphene Rowhammer tracker provisioned for TRH = 4000
 // contains a classic Rowhammer attack, is broken by Row-Press, and is
-// repaired transparently — at full threshold — by ImPress-P.
+// repaired transparently — at full threshold — by ImPress-P. Attack runs
+// go through Lab.Attack: context-first and error-returning.
 //
 // Run with: go run ./examples/rowpress-breaks-rowhammer
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"impress/internal/attack"
-	"impress/internal/clm"
-	"impress/internal/core"
-	"impress/internal/dram"
-	"impress/internal/security"
-	"impress/internal/trackers"
+	"impress"
 )
 
 const trh = 4000
 
 func main() {
-	tm := dram.DDR5()
-	patterns := []attack.Pattern{
-		&attack.Rowhammer{Row: 1 << 20, Timings: tm},
-		&attack.RowPress{Row: 1 << 20, TON: tm.TREFI, Timings: tm},  // 1 tREFI hold
-		&attack.RowPress{Row: 1 << 20, TON: tm.TONMax, Timings: tm}, // max DDR5 hold
-		&attack.Decoy{Row: 1 << 20, DecoyRow: 1 << 24, Spread: 8192, Timings: tm},
+	ctx := context.Background()
+	lab, err := impress.NewLab()
+	if err != nil {
+		log.Fatal(err)
 	}
-	designs := []core.Design{
-		core.NewDesign(core.NoRP),
-		core.NewDesign(core.ExPress),  // limits tON, halves the threshold
-		core.NewDesign(core.ImpressN), // window-granular, halves the threshold
-		core.NewDesign(core.ImpressP), // precise, keeps the full threshold
+	tm := impress.DDR5()
+	patterns := []impress.AttackPattern{
+		&impress.RowhammerPattern{Row: 1 << 20, Timings: tm},
+		&impress.RowPressPattern{Row: 1 << 20, TON: tm.TREFI, Timings: tm},  // 1 tREFI hold
+		&impress.RowPressPattern{Row: 1 << 20, TON: tm.TONMax, Timings: tm}, // max DDR5 hold
+		&impress.DecoyPattern{Row: 1 << 20, DecoyRow: 1 << 24, Spread: 8192, Timings: tm},
+	}
+	designs := []impress.Design{
+		impress.NewDesign(impress.NoRP),
+		impress.NewDesign(impress.ExPress),  // limits tON, halves the threshold
+		impress.NewDesign(impress.ImpressN), // window-granular, halves the threshold
+		impress.NewDesign(impress.ImpressP), // precise, keeps the full threshold
 	}
 
-	fmt.Printf("Graphene tracker, device TRH = %d, device alpha = %.2f\n", trh, clm.AlphaLongDuration)
+	fmt.Printf("Graphene tracker, device TRH = %d, device alpha = %.2f\n", trh, impress.AlphaLongDuration)
 	fmt.Printf("%-22s", "peak damage under:")
 	for _, d := range designs {
 		fmt.Printf("  %-12s", d.Kind)
@@ -44,13 +47,16 @@ func main() {
 	for _, p := range patterns {
 		fmt.Printf("%-22s", p.Name())
 		for _, d := range designs {
-			cfg := security.Config{
+			cfg := impress.AttackConfig{
 				Design:    d,
 				DesignTRH: trh,
-				AlphaTrue: clm.AlphaLongDuration,
-				Tracker:   func(t float64) trackers.Tracker { return trackers.NewGraphene(t) },
+				AlphaTrue: impress.AlphaLongDuration,
+				Tracker:   func(t float64) impress.Tracker { return impress.NewGraphene(t) },
 			}
-			res := security.Run(cfg, clonePattern(p, tm))
+			res, err := lab.Attack(ctx, cfg, clonePattern(p, tm))
+			if err != nil {
+				log.Fatal(err)
+			}
 			mark := ""
 			if res.MaxDamage >= trh {
 				mark = "*FLIP*"
@@ -66,14 +72,14 @@ func main() {
 
 // clonePattern builds a fresh pattern instance so stateful patterns (the
 // decoy) start clean for every configuration.
-func clonePattern(p attack.Pattern, tm dram.Timings) attack.Pattern {
+func clonePattern(p impress.AttackPattern, tm impress.Timings) impress.AttackPattern {
 	switch q := p.(type) {
-	case *attack.Rowhammer:
-		return &attack.Rowhammer{Row: q.Row, Timings: tm}
-	case *attack.RowPress:
-		return &attack.RowPress{Row: q.Row, TON: q.TON, Timings: tm}
-	case *attack.Decoy:
-		return &attack.Decoy{Row: q.Row, DecoyRow: q.DecoyRow, Spread: q.Spread, Timings: tm}
+	case *impress.RowhammerPattern:
+		return &impress.RowhammerPattern{Row: q.Row, Timings: tm}
+	case *impress.RowPressPattern:
+		return &impress.RowPressPattern{Row: q.Row, TON: q.TON, Timings: tm}
+	case *impress.DecoyPattern:
+		return &impress.DecoyPattern{Row: q.Row, DecoyRow: q.DecoyRow, Spread: q.Spread, Timings: tm}
 	default:
 		return p
 	}

@@ -1,54 +1,64 @@
 // This example reproduces the Fig. 3 phenomenon on the full performance
 // simulator: limiting row-open time (tMRO, the ExPress approach) slows
 // streaming workloads by cutting row-buffer hits, while pointer-chasing
-// workloads barely notice — and ImPress-P needs no limit at all.
+// workloads barely notice — and ImPress-P needs no limit at all. All
+// simulations run through one Lab, so repeated configurations are
+// memoized and a ctrl-C would stop the sweep cleanly.
 //
 // Run with: go run ./examples/tmro-sweep
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"impress/internal/core"
-	"impress/internal/dram"
-	"impress/internal/sim"
-	"impress/internal/trace"
+	"impress"
 )
 
 func main() {
+	ctx := context.Background()
+	lab, err := impress.NewLab()
+	if err != nil {
+		log.Fatal(err)
+	}
 	workloads := []string{"copy", "mcf"} // one streaming, one irregular
 	tmros := []int64{36, 66, 96, 186, 336, 636}
 
 	for _, name := range workloads {
-		w, err := trace.WorkloadByName(name)
+		w, err := impress.WorkloadByName(name)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
-		base := run(w, core.NewDesign(core.NoRP))
+		base := run(ctx, lab, w, impress.NewDesign(impress.NoRP))
 		baseHits := rowBufferHitRate(base)
 		fmt.Printf("%s: baseline row-buffer hit rate %.2f\n", name, baseHits)
 		fmt.Printf("  %-12s %-12s %-12s %s\n", "tMRO (ns)", "perf", "rb hit rate", "forced closures")
 		for _, ns := range tmros {
-			design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(ns)).WithEmpiricalThreshold()
-			res := run(w, design)
+			design := impress.NewDesign(impress.ExPress).WithTMRO(impress.Ns(ns)).WithEmpiricalThreshold()
+			res := run(ctx, lab, w, design)
 			fmt.Printf("  %-12d %-12.3f %-12.3f %d\n",
 				ns, res.NormalizeTo(base), rowBufferHitRate(res), res.Mem.ForcedClosures)
 		}
 		// ImPress-P for contrast: no tON limit, no closures, no slowdown.
-		resP := run(w, core.NewDesign(core.ImpressP))
+		resP := run(ctx, lab, w, impress.NewDesign(impress.ImpressP))
 		fmt.Printf("  %-12s %-12.3f %-12.3f %d\n\n",
 			"impress-p", resP.NormalizeTo(base), rowBufferHitRate(resP), resP.Mem.ForcedClosures)
 	}
 }
 
-func run(w trace.Workload, d core.Design) sim.Result {
-	cfg := sim.DefaultConfig(w, d, sim.TrackerNone)
+func run(ctx context.Context, lab *impress.Lab, w impress.Workload, d impress.Design) impress.SimResult {
+	cfg := impress.DefaultSimConfig(w, d, impress.TrackerNone)
 	cfg.WarmupInstructions = 50_000
 	cfg.RunInstructions = 250_000
-	return sim.Run(cfg)
+	res, err := lab.Run(ctx, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }
 
-func rowBufferHitRate(r sim.Result) float64 {
+func rowBufferHitRate(r impress.SimResult) float64 {
 	total := r.Mem.RowHits + r.Mem.RowMisses
 	if total == 0 {
 		return 0

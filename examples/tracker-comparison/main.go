@@ -1,52 +1,54 @@
 // This example compares all four Rowhammer trackers the paper analyzes —
 // Graphene, PARA (memory-controller side), Mithril and MINT (in-DRAM) —
 // under Row-Press with and without ImPress-P, and prints the storage cost
-// of protecting each (Section VI-C).
+// of protecting each (Section VI-C). Attack runs go through Lab.Attack:
+// context-first and error-returning.
 //
 // Run with: go run ./examples/tracker-comparison
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"impress/internal/attack"
-	"impress/internal/clm"
-	"impress/internal/core"
-	"impress/internal/dram"
-	"impress/internal/security"
-	"impress/internal/stats"
-	"impress/internal/trackers"
+	"impress"
 )
 
 func main() {
-	tm := dram.DDR5()
+	ctx := context.Background()
+	lab, err := impress.NewLab()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm := impress.DDR5()
 	seed := uint64(7)
 
 	type entry struct {
 		name   string
 		trh    float64
 		rfmth  int
-		make   func(trh float64) trackers.Tracker
+		make   func(trh float64) impress.Tracker
 		inDRAM bool
 	}
 	configs := []entry{
-		{"graphene", 4000, 0, func(t float64) trackers.Tracker { return trackers.NewGraphene(t) }, false},
-		{"para", 4000, 0, func(t float64) trackers.Tracker {
+		{"graphene", 4000, 0, func(t float64) impress.Tracker { return impress.NewGraphene(t) }, false},
+		{"para", 4000, 0, func(t float64) impress.Tracker {
 			seed++
-			return trackers.NewPARA(t, stats.NewRand(seed))
+			return impress.NewPARA(t, impress.NewRand(seed))
 		}, false},
-		{"mithril", 4000, 80, func(t float64) trackers.Tracker { return trackers.NewMithril(t, 80) }, true},
-		{"mint", trackers.MINTToleratedTRH(80), 80, func(t float64) trackers.Tracker {
+		{"mithril", 4000, 80, func(t float64) impress.Tracker { return impress.NewMithril(t, 80) }, true},
+		{"mint", impress.MINTToleratedTRH(80), 80, func(t float64) impress.Tracker {
 			seed++
-			return trackers.NewMINT(80, stats.NewRand(seed))
+			return impress.NewMINT(80, impress.NewRand(seed))
 		}, true},
 	}
 
 	fmt.Println("Row-Press attack (row held open for one tREFI), device alpha = 0.48")
 	fmt.Printf("%-10s %-10s %-16s %-16s %s\n", "tracker", "TRH", "no-rp damage", "impress-p damage", "verdict")
 	for _, c := range configs {
-		noRP := runOnce(c.make, core.NewDesign(core.NoRP), c.trh, c.rfmth, tm)
-		withP := runOnce(c.make, core.NewDesign(core.ImpressP), c.trh, c.rfmth, tm)
+		noRP := runOnce(ctx, lab, c.make, impress.NewDesign(impress.NoRP), c.trh, c.rfmth, tm)
+		withP := runOnce(ctx, lab, c.make, impress.NewDesign(impress.ImpressP), c.trh, c.rfmth, tm)
 		verdict := "ImPress-P contains it"
 		if withP >= c.trh {
 			verdict = "still broken!"
@@ -61,23 +63,27 @@ func main() {
 
 	fmt.Println("\nStorage cost of Row-Press protection at TRH = 4K (per channel):")
 	for _, tr := range []string{"graphene", "mithril"} {
-		for _, row := range security.StorageComparison(tr, 4000, 80, 1) {
+		for _, row := range impress.StorageComparison(tr, 4000, 80, 1) {
 			fmt.Printf("  %-9s %-10s %4d entries/bank  %5.1f KB  (%.2fx)\n",
 				tr, row.Design, row.Storage.EntriesPerBank, row.Storage.ChannelKB, row.RelativeToNoRP)
 		}
 	}
-	fmt.Printf("  %-9s %-10s %26s %d B/bank\n", "mint", "no-rp", "", security.MINTStorageBytes(80, 0))
-	fmt.Printf("  %-9s %-10s %26s %d B/bank\n", "mint", "impress-p", "", security.MINTStorageBytes(80, clm.FracBits))
+	fmt.Printf("  %-9s %-10s %26s %d B/bank\n", "mint", "no-rp", "", impress.MINTStorageBytes(80, 0))
+	fmt.Printf("  %-9s %-10s %26s %d B/bank\n", "mint", "impress-p", "", impress.MINTStorageBytes(80, impress.FracBits))
 }
 
-func runOnce(factory func(trh float64) trackers.Tracker, d core.Design, trh float64, rfmth int, tm dram.Timings) float64 {
-	cfg := security.Config{
+func runOnce(ctx context.Context, lab *impress.Lab, factory func(trh float64) impress.Tracker,
+	d impress.Design, trh float64, rfmth int, tm impress.Timings) float64 {
+	cfg := impress.AttackConfig{
 		Design:    d,
 		DesignTRH: trh,
-		AlphaTrue: clm.AlphaLongDuration,
+		AlphaTrue: impress.AlphaLongDuration,
 		RFMTH:     rfmth,
-		Tracker:   func(t float64) trackers.Tracker { return factory(t) },
+		Tracker:   func(t float64) impress.Tracker { return factory(t) },
 	}
-	res := security.Run(cfg, &attack.RowPress{Row: 1 << 20, TON: tm.TREFI, Timings: tm})
+	res, err := lab.Attack(ctx, cfg, &impress.RowPressPattern{Row: 1 << 20, TON: tm.TREFI, Timings: tm})
+	if err != nil {
+		log.Fatal(err)
+	}
 	return res.MaxDamage
 }

@@ -1,6 +1,27 @@
 // Package impress is the public API of the ImPress reproduction: implicit
 // Row-Press mitigation for DRAM (Qureshi, Saxena, Jaleel — MICRO 2024).
 //
+// The one way in for new code is the Lab: a handle built with functional
+// options that owns the resources runs share and exposes every run kind
+// as a context-first, error-returning, progress-streaming method:
+//
+//	lab, err := impress.NewLab(
+//	    impress.WithStore(dir),        // persistent result cache
+//	    impress.WithParallelism(4),    // sweep worker pool
+//	    impress.WithProgress(onEvent), // run-lifecycle stream
+//	)
+//	res, err := lab.Run(ctx, cfg)            // one simulation
+//	tables, err := lab.Experiments(ctx, scale) // every figure
+//	out, err := lab.Attack(ctx, acfg, pattern) // security harness
+//
+// Cancelling ctx stops a simulation within one macro cycle and a sweep
+// within one spec boundary; with a store attached, completed work
+// persists, so a cancelled sweep rerun resumes warm. Invalid input
+// returns errors matching ErrBadSpec / ErrUnknownWorkload instead of
+// panicking; see DESIGN.md §9 for the full run-lifecycle contract. The
+// pre-Lab free functions (RunSim, RunAttack, Experiments, ...) remain as
+// thin deprecated wrappers over a default Lab.
+//
 // The package re-exports the library's main entry points so downstream
 // users need not reach into internal packages:
 //
@@ -44,6 +65,7 @@
 package impress
 
 import (
+	"context"
 	"io"
 
 	"impress/internal/attack"
@@ -79,6 +101,14 @@ const (
 
 // One is the fixed-point representation of a single activation.
 const One = clm.One
+
+// FracBits is ImPress-P's default fractional EACT precision (7 bits).
+const FracBits = clm.FracBits
+
+// ChargeAccess is one activation in a charge-loss pattern: its row-open
+// time and the idle gap that follows. Model.PatternTCL sums a pattern's
+// damage in activation-equivalents.
+type ChargeAccess = clm.Access
 
 // NewModel returns a CLM with the given alpha over DDR5 timings.
 func NewModel(alpha float64) Model { return clm.New(alpha) }
@@ -175,8 +205,16 @@ type AttackResult = security.Result
 type AttackTrackerFactory = security.TrackerFactory
 
 // RunAttack replays a pattern against a (defense, tracker) pair.
+//
+// Deprecated: RunAttack panics on invalid input and cannot be
+// cancelled; it delegates to a default Lab and is kept so existing call
+// sites keep compiling and behaving identically. Use Lab.Attack.
 func RunAttack(cfg AttackConfig, p AttackPattern) AttackResult {
-	return security.Run(cfg, p)
+	res, err := defaultLab.Attack(context.Background(), cfg, p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
 }
 
 // AttackPattern generates an adversarial access sequence.
@@ -194,6 +232,25 @@ type SeededTrackerFactory = security.SeededTrackerFactory
 func MonteCarlo(cfg AttackConfig, newPattern func() AttackPattern,
 	newTracker SeededTrackerFactory, trials int, baseSeed uint64) MonteCarloResult {
 	return security.MonteCarlo(cfg, newPattern, newTracker, trials, baseSeed)
+}
+
+// TrackerStorage is one tracker's SRAM budget (paper Section VI-C).
+type TrackerStorage = security.TrackerStorage
+
+// DesignStorage is a defense design's tracker-storage requirement
+// relative to No-RP.
+type DesignStorage = security.DesignStorage
+
+// StorageComparison returns the Section VI-C storage table for a
+// tracker ("graphene" or "mithril") across the four designs.
+func StorageComparison(tracker string, designTRH float64, rfmth int, alpha float64) []DesignStorage {
+	return security.StorageComparison(tracker, designTRH, rfmth, alpha)
+}
+
+// MINTStorageBytes is MINT's per-bank storage with fracBits of ImPress-P
+// EACT precision (0 = plain Rowhammer MINT).
+func MINTStorageBytes(rfmth, fracBits int) int {
+	return security.MINTStorageBytes(rfmth, fracBits)
 }
 
 // SearchResult is a worst-case attack-search outcome.
@@ -278,8 +335,15 @@ type WorkloadTrace = trace.Trace
 // RecordTrace drains perCore requests per core from the workload's
 // generators (seeded as a live simulation would seed them) into a
 // replayable trace.
+//
+// Deprecated: RecordTrace panics on invalid counts and cannot be
+// cancelled; it delegates to a default Lab. Use Lab.Record.
 func RecordTrace(w Workload, cores, perCore int, seed uint64) *WorkloadTrace {
-	return trace.Record(w, cores, perCore, seed)
+	t, err := defaultLab.Record(context.Background(), w, cores, perCore, seed)
+	if err != nil {
+		panic("trace: " + err.Error())
+	}
+	return t
 }
 
 // DecodeTrace reads a binary trace from a stream; it returns an error —
@@ -295,7 +359,17 @@ func DefaultSimConfig(w Workload, d Design, tracker TrackerKind) SimConfig {
 }
 
 // RunSim executes a performance simulation.
-func RunSim(cfg SimConfig) SimResult { return sim.Run(cfg) }
+//
+// Deprecated: RunSim panics on invalid input and cannot be cancelled;
+// it delegates to a default Lab and is kept so existing call sites keep
+// compiling and behaving identically. Use Lab.Run.
+func RunSim(cfg SimConfig) SimResult {
+	res, err := defaultLab.Run(context.Background(), cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
 
 // ---- Persistent result store (DESIGN.md §8) ----
 
@@ -365,18 +439,31 @@ func FullScale() ExperimentScale { return experiments.FullScale() }
 
 // Experiments regenerates every table and figure at the given scale,
 // running independent simulations concurrently (GOMAXPROCS workers).
+//
+// Deprecated: Experiments panics on invalid scales and cannot be
+// cancelled or observed; it delegates to a default Lab. Use
+// Lab.Experiments.
 func Experiments(scale ExperimentScale) []*ExperimentTable {
-	return experiments.All(experiments.NewRunner(scale))
+	tables, err := defaultLab.Experiments(context.Background(), scale)
+	if err != nil {
+		panic(err.Error())
+	}
+	return tables
 }
 
 // ExperimentsParallel regenerates every table and figure at the given
 // scale with an explicit simulation worker count (1 = fully serial,
 // 0 = GOMAXPROCS, negative clamps to serial). Output is byte-identical
 // at every parallelism level.
+//
+// Deprecated: use Lab.Experiments with WithParallelism.
 func ExperimentsParallel(scale ExperimentScale, parallelism int) []*ExperimentTable {
-	r := experiments.NewRunner(scale)
-	r.Parallelism = parallelism
-	return experiments.All(r)
+	l := &Lab{parallelism: parallelism}
+	tables, err := l.Experiments(context.Background(), scale)
+	if err != nil {
+		panic(err.Error())
+	}
+	return tables
 }
 
 // AnalyticalExperiments regenerates the simulation-free subset.

@@ -38,6 +38,7 @@ func TestPublicAttackAPIHeadline(t *testing.T) {
 			AlphaTrue: impress.AlphaLongDuration,
 			Tracker:   func(t float64) impress.Tracker { return impress.NewGraphene(t) },
 		}
+		//lint:ignore SA1019 the test pins the deprecated wrapper's behavior
 		res := impress.RunAttack(cfg, &impress.RowPressPattern{
 			Row: 1 << 20, TON: tm.TREFI, Timings: tm,
 		})
@@ -83,6 +84,7 @@ func TestPublicSimAPI(t *testing.T) {
 	cfg := impress.DefaultSimConfig(w, impress.NewDesign(impress.ImpressP), impress.TrackerGraphene)
 	cfg.WarmupInstructions = 5_000
 	cfg.RunInstructions = 20_000
+	//lint:ignore SA1019 the test pins the deprecated wrapper's behavior
 	res := impress.RunSim(cfg)
 	if len(res.IPC) != 8 || res.WeightedIPCSum <= 0 {
 		t.Fatalf("bad sim result: %+v", res)
@@ -94,6 +96,7 @@ func TestPublicTraceRecordReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	//lint:ignore SA1019 the test pins the deprecated wrapper's behavior
 	rec := impress.RecordTrace(w, 2, 2_000, 1)
 	var buf bytes.Buffer
 	if err := rec.Encode(&buf); err != nil {
@@ -113,6 +116,7 @@ func TestPublicTraceRecordReplay(t *testing.T) {
 	cfg.RunInstructions = 5_000
 	live := cfg
 	live.Workload = w
+	//lint:ignore SA1019 the test pins the deprecated wrapper's behavior
 	if a, b := impress.RunSim(cfg), impress.RunSim(live); !reflect.DeepEqual(a, b) {
 		t.Fatalf("replayed run differs from live run:\nreplay %+v\nlive   %+v", a, b)
 	}
@@ -231,6 +235,7 @@ func TestPublicResultStore(t *testing.T) {
 	if _, ok := store.Get(sp); ok {
 		t.Fatal("empty store must miss")
 	}
+	//lint:ignore SA1019 the test pins the deprecated wrapper's behavior
 	res := impress.RunSim(cfg)
 	if err := store.Put(sp, res); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,50 @@
+// Package errs defines the error taxonomy of the public run API
+// (DESIGN.md §9). Every layer that validates caller input — workload
+// spec resolution, mix parsing, trace decoding, simulation and security
+// configs — wraps one of these sentinels, so callers of the public Lab
+// entry points can classify failures with errors.Is instead of parsing
+// messages (or, before this taxonomy existed, recovering panics).
+//
+// The package has no dependencies by design: it sits below internal/trace
+// and is importable from every layer without cycles.
+package errs
+
+import "errors"
+
+// ErrUnknownWorkload marks a workload spec that resolves to nothing: a
+// misspelled built-in name, an unknown "attack:<pattern>", or a mix entry
+// naming either. Surfaced by trace.WorkloadByName and everything layered
+// on it (sim configs, experiment scales, CLI -workload flags).
+var ErrUnknownWorkload = errors.New("unknown workload")
+
+// ErrBadSpec marks caller input that is structurally invalid: a
+// simulation or attack config that fails validation, an unreadable or
+// corrupt trace file, out-of-range record/shard parameters, or an
+// unknown experiment ID.
+var ErrBadSpec = errors.New("invalid specification")
+
+// ErrCancelled marks a run stopped by its context. Errors wrapping it
+// also wrap the originating context error, so both
+// errors.Is(err, ErrCancelled) and errors.Is(err, context.Canceled)
+// (or context.DeadlineExceeded) hold.
+var ErrCancelled = errors.New("run cancelled")
+
+// Cancelled wraps a context error (ctx.Err()) into the taxonomy: the
+// result matches ErrCancelled and, via Unwrap, the cause itself.
+// A nil cause returns ErrCancelled directly.
+func Cancelled(cause error) error {
+	if cause == nil {
+		return ErrCancelled
+	}
+	return &cancelledError{cause: cause}
+}
+
+type cancelledError struct{ cause error }
+
+func (e *cancelledError) Error() string { return "run cancelled: " + e.cause.Error() }
+
+// Is reports identity with the ErrCancelled sentinel; the cause chain is
+// reached through Unwrap.
+func (e *cancelledError) Is(target error) bool { return target == ErrCancelled }
+
+func (e *cancelledError) Unwrap() error { return e.cause }

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -15,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"impress/internal/core"
+	"impress/internal/errs"
 	"impress/internal/resultstore"
 	"impress/internal/sim"
 	"impress/internal/stats"
@@ -115,6 +118,11 @@ type Runner struct {
 	// callers — they run on the calling goroutine (or wait on an in-flight
 	// duplicate).
 	Parallelism int
+	// Clock selects the simulator clocking for every spec this runner
+	// materializes (results are bit-identical across modes, and the
+	// result-store key excludes the mode, so this changes speed and
+	// cross-checking — lockstep — not output).
+	Clock sim.ClockMode
 	// Store, when non-nil, is the persistent result cache consulted
 	// before every simulation and written back after. The in-memory memo
 	// and the store share one canonical key (resultstore.SpecFor over the
@@ -122,12 +130,101 @@ type Runner struct {
 	// failed store write loses persistence only — the result is still
 	// memoized and returned — and is counted in Store.Counters.
 	Store *resultstore.Store
+	// Progress, when non-nil, receives run-lifecycle events: one
+	// ProgressSpecStarted per distinct spec followed by ProgressSpecCacheHit
+	// or ProgressSpecFinished, and ProgressTableRendered per assembled
+	// table under the context-aware entry points. Callbacks are
+	// serialized; set it before the sweep starts and do not mutate it
+	// while one runs.
+	Progress func(Progress)
+
+	// bindCtx is the cancellation signal bound by the context-aware
+	// entry points (RunTables, PrefetchContext, impress.Lab); nil means
+	// uncancellable. bindMu + bindCount make overlapping sweeps on one
+	// runner race-free: the first binder's signal is shared by all and
+	// held until the last overlapping sweep releases (documented on
+	// PrefetchContext).
+	bindMu    sync.Mutex
+	bindCtx   context.Context
+	bindCount int
 
 	mu    sync.Mutex
 	cache map[string]*runEntry
 	// sims counts actual sim.Run executions (memo and store hits
 	// excluded); a warm-store sweep asserts it stays zero.
 	sims atomic.Int64
+
+	progressMu sync.Mutex
+}
+
+// runAbort carries a typed error out of the figure-assembly call tree by
+// panic: Runner.Run keeps its historical panicking signature (every
+// table builder depends on it), so cancellation and input errors
+// travel as this sentinel and the context-aware boundaries (RunTables,
+// PrefetchContext) recover it back into an ordinary error. It
+// implements error so an uncaught escape still prints cleanly.
+type runAbort struct{ err error }
+
+func (a *runAbort) Error() string { return a.err.Error() }
+func (a *runAbort) Unwrap() error { return a.err }
+
+// bind installs ctx as the runner's cancellation signal for one sweep
+// and returns the release func. Entry points call it before spawning
+// workers; nested and concurrent binds (a ctx-aware call from inside —
+// or alongside — another) share the first signal, which stays bound
+// until the last overlapping sweep releases — a sweep can never lose
+// its cancellation because a sibling finished first.
+func (r *Runner) bind(ctx context.Context) func() {
+	r.bindMu.Lock()
+	defer r.bindMu.Unlock()
+	if r.bindCount == 0 {
+		r.bindCtx = ctx
+	}
+	r.bindCount++
+	return func() {
+		r.bindMu.Lock()
+		defer r.bindMu.Unlock()
+		if r.bindCount--; r.bindCount == 0 {
+			r.bindCtx = nil
+		}
+	}
+}
+
+// boundCtx returns the bound cancellation signal, nil when none.
+func (r *Runner) boundCtx() context.Context {
+	r.bindMu.Lock()
+	defer r.bindMu.Unlock()
+	return r.bindCtx
+}
+
+// cancelled reports whether the bound context (if any) has ended.
+func (r *Runner) cancelled() bool {
+	ctx := r.boundCtx()
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}
+
+// checkCtx panics with a runAbort when the bound context has ended; the
+// context-aware boundary recovers it into the returned error.
+func (r *Runner) checkCtx() {
+	if ctx := r.boundCtx(); ctx != nil && ctx.Err() != nil {
+		panic(&runAbort{fmt.Errorf("experiments: sweep stopped: %w", errs.Cancelled(ctx.Err()))})
+	}
+}
+
+// runCtx returns the context simulations run under.
+func (r *Runner) runCtx() context.Context {
+	if ctx := r.boundCtx(); ctx != nil {
+		return ctx
+	}
+	return context.Background()
 }
 
 // runEntry is one memoized (possibly in-flight) simulation. done is closed
@@ -159,8 +256,10 @@ func (r *Runner) parallelism() int {
 // names keep their figure order; any remaining scale entry is resolved as
 // a workload spec ("mix:..." co-runs, "attack:..." aggressors) and
 // appended in scale order, so custom scales can put arbitrary scenarios
-// through every experiment. An unresolvable entry panics — a scale is
-// static configuration, and a typo must not silently shrink a figure.
+// through every experiment. An unresolvable entry must not silently
+// shrink a figure: it panics here, and the context-aware entry points
+// (RunTables, impress.Lab.Experiments) recover that panic into a typed
+// error wrapping errs.ErrUnknownWorkload instead of crashing mid-sweep.
 func (r *Runner) Workloads() []trace.Workload {
 	all := trace.Workloads()
 	if r.Scale.Workloads == nil {
@@ -179,7 +278,7 @@ func (r *Runner) Workloads() []trace.Workload {
 		}
 		w, err := trace.WorkloadByName(n)
 		if err != nil {
-			panic(fmt.Sprintf("experiments: scale %q: %v", r.Scale.Name, err))
+			panic(&runAbort{fmt.Errorf("experiments: scale %q: %w", r.Scale.Name, err)})
 		}
 		extras = append(extras, w)
 	}
@@ -255,8 +354,15 @@ func (r *Runner) Sims() int64 { return r.sims.Load() }
 // Run executes (or recalls) the described simulation. Concurrent calls
 // with the same spec are deduplicated: one goroutine simulates, the rest
 // wait for its result. With a Store attached, the persistent cache is
-// consulted before simulating and written back after.
+// consulted before simulating and written back after. Each distinct
+// spec's execution emits progress events (started, then cache-hit or
+// finished); memoized repeats emit nothing.
+//
+// Run panics on simulation failure or cancellation (wrapped as a typed
+// runAbort); the context-aware entry points recover that into an error,
+// and every experiment table builder relies on the panicking signature.
 func (r *Runner) Run(spec RunSpec) sim.Result {
+	r.checkCtx()
 	sp := r.storeSpec(spec)
 	k := string(sp.Key())
 	r.mu.Lock()
@@ -277,20 +383,40 @@ func (r *Runner) Run(spec RunSpec) sim.Result {
 
 	defer func() {
 		if p := recover(); p != nil {
+			if a, ok := p.(*runAbort); ok && errors.Is(a.err, errs.ErrCancelled) {
+				// A cancelled spec must stay retryable: drop the memo
+				// entry so a later call under a live context
+				// re-simulates instead of replaying the stale
+				// cancellation forever. Current waiters still observe
+				// the cancellation via e.panicked.
+				r.mu.Lock()
+				delete(r.cache, k)
+				r.mu.Unlock()
+			}
 			e.panicked = p
 			close(e.done)
 			panic(p)
 		}
 		close(e.done)
 	}()
+	label := specLabel(sp)
+	r.emit(Progress{Kind: ProgressSpecStarted, Spec: label, Key: k})
 	if r.Store != nil {
 		if res, ok := r.Store.Get(sp); ok {
 			e.res = res
+			r.emit(Progress{Kind: ProgressSpecCacheHit, Spec: label, Key: k})
 			return e.res
 		}
 	}
-	e.res = sim.Run(spec.config(r.Scale))
+	cfg := spec.config(r.Scale)
+	cfg.Clock = r.Clock
+	res, err := sim.RunContext(r.runCtx(), cfg)
+	if err != nil {
+		panic(&runAbort{fmt.Errorf("experiments: %s: %w", label, err)})
+	}
+	e.res = res
 	r.sims.Add(1)
+	r.emit(Progress{Kind: ProgressSpecFinished, Spec: label, Key: k, Cycles: res.Cycles})
 	if r.Store != nil {
 		// A write failure costs persistence, not correctness; it is
 		// counted in the store's Counters for the CLI summary line.
@@ -303,7 +429,12 @@ func (r *Runner) Run(spec RunSpec) sim.Result {
 // goroutines (GOMAXPROCS by default), deduplicating repeated and
 // already-cached specs. Table assembly that follows then hits the memo
 // cache only, so output is identical to running the specs serially. If any
-// simulation panics, Prefetch re-panics after the pool drains.
+// simulation panics, Prefetch re-panics after the pool drains. When the
+// runner is bound to a context that ends mid-sweep, workers stop pulling
+// new specs, in-flight simulations return at their next macro-cycle
+// boundary, and the pool drains before the cancellation surfaces —
+// every result already produced is memoized (and store-written), so a
+// rerun resumes warm.
 func (r *Runner) Prefetch(specs []RunSpec) {
 	seen := make(map[string]bool, len(specs))
 	var todo []RunSpec
@@ -329,20 +460,35 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	}
 	close(queue)
 	var (
-		wg        sync.WaitGroup
-		panicOnce sync.Once
-		panicked  any
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
 	)
+	// Cancellation makes every in-flight worker panic with a routine
+	// runAbort at once, so keep the first panic but let a genuine
+	// invariant panic (lockstep divergence, replay exhaustion) from a
+	// sibling worker displace a routine cancellation — it must not be
+	// masked behind a benign "interrupted" report.
+	record := func(p any) {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		if panicked == nil || isCancelAbort(panicked) && !isCancelAbort(p) {
+			panicked = p
+		}
+	}
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panicOnce.Do(func() { panicked = p })
+					record(p)
 				}
 			}()
 			for s := range queue {
+				if r.cancelled() {
+					break // drain: stop starting new specs
+				}
 				r.Run(s)
 			}
 		}()
@@ -351,6 +497,36 @@ func (r *Runner) Prefetch(specs []RunSpec) {
 	if panicked != nil {
 		panic(panicked)
 	}
+	r.checkCtx() // all workers may have drained without running anything
+}
+
+// isCancelAbort reports whether a recovered panic value is the routine
+// cancellation abort (as opposed to an invariant violation).
+func isCancelAbort(p any) bool {
+	a, ok := p.(*runAbort)
+	return ok && errors.Is(a.err, errs.ErrCancelled)
+}
+
+// PrefetchContext is Prefetch under a context: it binds ctx for the
+// sweep's duration and returns — instead of panicking — a typed error on
+// cancellation (matching errs.ErrCancelled and ctx.Err()) or simulation
+// failure. Completed specs stay memoized and store-written either way,
+// and cancelled specs are dropped from the memo so a retry under a live
+// context re-simulates them. Concurrent context-aware sweeps on one
+// runner share the first caller's cancellation signal.
+func (r *Runner) PrefetchContext(ctx context.Context, specs []RunSpec) (err error) {
+	defer r.bind(ctx)()
+	defer func() {
+		if p := recover(); p != nil {
+			if a, ok := p.(*runAbort); ok {
+				err = a.err
+				return
+			}
+			panic(p)
+		}
+	}()
+	r.Prefetch(specs)
+	return nil
 }
 
 // Shard returns the deterministic subset of specs owned by shard index

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"impress/internal/core"
@@ -505,19 +506,16 @@ func allSimSpecs(r *Runner) []RunSpec {
 
 // All returns every experiment in paper order, using runner r for the
 // simulation-backed ones. The full simulation set is prefetched up front
-// so independent runs across figures execute concurrently.
+// so independent runs across figures execute concurrently. All panics on
+// invalid input and cannot be cancelled; it is kept so pre-Lab call
+// sites keep behaving identically. New callers should use AllContext or
+// RunTables (or impress.Lab.Experiments).
 func All(r *Runner) []*Table {
-	r.Prefetch(allSimSpecs(r))
-	return []*Table{
-		TableI(), TableII(),
-		Figure3(r), Figure4(), Figure5(r),
-		Figure6(), Figure7(), Figure8(),
-		ImpressNWorstCase(), Figure12(),
-		Figure13(r), TableIII(), Figure14(r), EnergyTable(r), Figure15(r),
-		Figure16(r), Figure18(), Figure19(),
-		StorageTable(), SecuritySummary(),
-		PRACTable(), RelatedWorkDSAC(), AblationRFMPacingParallel(r.parallelism()),
+	tables, err := AllContext(context.Background(), r)
+	if err != nil {
+		panic(err.Error())
 	}
+	return tables
 }
 
 // Analytical returns the experiments that need no performance simulation

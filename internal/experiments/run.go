@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"impress/internal/errs"
+)
+
+// Definition describes one runnable experiment: its CLI/-only ID,
+// whether it needs performance simulations, and its table builder.
+type Definition struct {
+	ID string
+	// Analytical marks experiments that need no performance simulation
+	// (model arithmetic and the single-bank security harness only).
+	Analytical bool
+	// Build assembles the table, using r for simulation-backed runs.
+	Build func(r *Runner) *Table
+}
+
+// Definitions returns every experiment in paper order — the single
+// registry behind All, RunTables and the impress-experiments CLI.
+func Definitions() []Definition {
+	a := func(id string, build func() *Table) Definition {
+		return Definition{ID: id, Analytical: true, Build: func(*Runner) *Table { return build() }}
+	}
+	s := func(id string, build func(*Runner) *Table) Definition {
+		return Definition{ID: id, Build: build}
+	}
+	return []Definition{
+		a("table1", TableI),
+		a("table2", TableII),
+		s("fig3", Figure3),
+		a("fig4", Figure4),
+		s("fig5", Figure5),
+		a("fig6", Figure6),
+		a("fig7", Figure7),
+		a("fig8", Figure8),
+		a("eq5", ImpressNWorstCase),
+		a("fig12", Figure12),
+		s("fig13", Figure13),
+		a("table3", TableIII),
+		s("fig14", Figure14),
+		s("energy", EnergyTable),
+		s("fig15", Figure15),
+		s("fig16", Figure16),
+		a("fig18", Figure18),
+		a("fig19", Figure19),
+		a("storage", StorageTable),
+		a("security", SecuritySummary),
+		a("prac", PRACTable),
+		a("dsac", RelatedWorkDSAC),
+		// ablation-rfm is analytical (single-bank security harness, no
+		// performance simulation) but honors the runner's parallelism.
+		{ID: "ablation-rfm", Analytical: true, Build: func(r *Runner) *Table {
+			return AblationRFMPacingParallel(r.parallelism())
+		}},
+	}
+}
+
+// KnownIDs returns every experiment ID, sorted.
+func KnownIDs() []string {
+	defs := Definitions()
+	ids := make([]string, len(defs))
+	for i, d := range defs {
+		ids[i] = d.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunOptions selects and observes the work RunTables performs.
+type RunOptions struct {
+	// Only restricts assembly to these experiment IDs (nil = all).
+	Only []string
+	// Analytical restricts to the simulation-free experiments.
+	Analytical bool
+	// OnTable, when non-nil, receives each table as soon as it is
+	// assembled, in paper order — CLIs stream output through it instead
+	// of waiting for the full slice.
+	OnTable func(*Table)
+}
+
+// RunTables assembles the selected experiment tables under a context —
+// the package's context-aware boundary. Everything the historical
+// panicking call tree rejects surfaces here as a typed error instead:
+// an unknown experiment ID or unresolvable scale workload (wrapping
+// errs.ErrBadSpec / errs.ErrUnknownWorkload), a simulation rejecting its
+// config, and cancellation (matching errs.ErrCancelled and ctx.Err(),
+// honored within one simulation macro cycle and between tables).
+// Completed simulations stay memoized — and persistently stored with a
+// Store attached — so a cancelled sweep rerun resumes warm. Internal
+// invariant panics still propagate.
+func RunTables(ctx context.Context, r *Runner, opts RunOptions) (tables []*Table, err error) {
+	defs := Definitions()
+	want := map[string]bool{}
+	for _, id := range opts.Only {
+		var def *Definition
+		for i := range defs {
+			if defs[i].ID == id {
+				def = &defs[i]
+				break
+			}
+		}
+		if def == nil {
+			return nil, fmt.Errorf("experiments: %w: unknown experiment ID %q (known: %s)",
+				errs.ErrBadSpec, id, strings.Join(KnownIDs(), ", "))
+		}
+		if opts.Analytical && !def.Analytical {
+			return nil, fmt.Errorf("experiments: %w: experiment %q is simulation-backed; drop the analytical restriction to run it",
+				errs.ErrBadSpec, id)
+		}
+		want[id] = true
+	}
+
+	defer r.bind(ctx)()
+	defer func() {
+		if p := recover(); p != nil {
+			if a, ok := p.(*runAbort); ok {
+				tables, err = nil, a.err
+				return
+			}
+			panic(p)
+		}
+	}()
+
+	// A batch full sweep prefetches the union up front so independent
+	// runs across figures execute concurrently (the historical All
+	// behavior). Streaming callers (OnTable) want completed tables
+	// incrementally, so each figure prefetches its own set lazily
+	// instead — the memo still deduplicates cross-figure overlap, and
+	// output is byte-identical either way. Filtered runs are always
+	// lazy.
+	if len(want) == 0 && !opts.Analytical && opts.OnTable == nil {
+		r.Prefetch(allSimSpecs(r))
+	}
+	for _, d := range defs {
+		if len(want) > 0 && !want[d.ID] {
+			continue
+		}
+		if opts.Analytical && !d.Analytical {
+			continue
+		}
+		r.checkCtx()
+		t := d.Build(r)
+		r.emit(Progress{Kind: ProgressTableRendered, Table: t.ID})
+		if opts.OnTable != nil {
+			opts.OnTable(t)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// AllContext regenerates every table and figure under a context; see
+// RunTables for the error and cancellation contract.
+func AllContext(ctx context.Context, r *Runner) ([]*Table, error) {
+	return RunTables(ctx, r, RunOptions{})
+}

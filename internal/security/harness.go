@@ -12,12 +12,14 @@
 package security
 
 import (
+	"context"
 	"fmt"
 
 	"impress/internal/attack"
 	"impress/internal/clm"
 	"impress/internal/core"
 	"impress/internal/dram"
+	"impress/internal/errs"
 	"impress/internal/trackers"
 )
 
@@ -85,7 +87,38 @@ func (r Result) String() string {
 		r.Pattern, r.MaxDamage, r.DemandACTs, r.Mitigations, 100*r.Slowdown())
 }
 
-// Run replays pattern against cfg and returns the measured result.
+// Validate reports whether the config is a well-formed security
+// experiment, returning a typed error (wrapping errs.ErrBadSpec)
+// otherwise: an invalid defense design or a missing tracker factory.
+func (cfg Config) Validate() error {
+	if err := cfg.Design.Validate(); err != nil {
+		return fmt.Errorf("security: %w: %v", errs.ErrBadSpec, err)
+	}
+	if cfg.Tracker == nil {
+		return fmt.Errorf("security: %w: missing tracker factory", errs.ErrBadSpec)
+	}
+	return nil
+}
+
+// Run replays pattern against cfg and returns the measured result. It
+// panics on invalid input and cannot be cancelled; it is kept so pre-Lab
+// call sites keep compiling and behaving identically. New callers should
+// use RunContext (or impress.Lab.Attack).
+func Run(cfg Config, pattern attack.Pattern) Result {
+	res, err := RunContext(context.Background(), cfg, pattern)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunContext replays pattern against cfg and returns the measured
+// result. Invalid caller input returns a typed error wrapping
+// errs.ErrBadSpec (see Config.Validate). Cancellation is honored at
+// access boundaries — the context is polled every few hundred attack
+// accesses, a sub-millisecond granularity — returning an error matching
+// both errs.ErrCancelled and ctx.Err(); an uncancellable context costs
+// one nil-check per access.
 //
 // Model simplifications (documented in DESIGN.md §5): regular tREFI
 // refreshes are served whenever the bank is idle and consume tRFC each
@@ -95,14 +128,13 @@ func (r Result) String() string {
 // reset at each tREFW boundary. Mitigations requested while the aggressor
 // row is open are applied when it closes, since victim rows share the
 // bank and cannot be activated while another row is open.
-func Run(cfg Config, pattern attack.Pattern) Result {
+func RunContext(ctx context.Context, cfg Config, pattern attack.Pattern) (Result, error) {
 	t := cfg.Design.Timings
-	if err := cfg.Design.Validate(); err != nil {
-		panic(err)
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
-	if cfg.Tracker == nil {
-		panic("security: missing tracker factory")
-	}
+	done := ctx.Done()
+	accesses := 0
 	duration := cfg.Duration
 	if duration == 0 {
 		duration = t.TREFW
@@ -154,6 +186,15 @@ func Run(cfg Config, pattern attack.Pattern) Result {
 	}
 
 	for now < duration {
+		if done != nil && accesses&0xff == 0 {
+			select {
+			case <-done:
+				return Result{}, fmt.Errorf("security: %s stopped at tick %d: %w",
+					pattern.Name(), now, errs.Cancelled(ctx.Err()))
+			default:
+			}
+		}
+		accesses++
 		// Serve any refreshes that have come due while the bank is idle.
 		if due := int64(now/t.TREFI) - served; due > 0 {
 			now += dram.Tick(due) * t.TRFC
@@ -215,5 +256,5 @@ func Run(cfg Config, pattern attack.Pattern) Result {
 		}
 	}
 	res.Elapsed = now
-	return res
+	return res, nil
 }

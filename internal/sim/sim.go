@@ -8,6 +8,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -15,6 +16,7 @@ import (
 	"impress/internal/core"
 	"impress/internal/cpu"
 	"impress/internal/dram"
+	"impress/internal/errs"
 	"impress/internal/memctrl"
 	"impress/internal/stats"
 	"impress/internal/trace"
@@ -60,16 +62,16 @@ const (
 type Config struct {
 	Workload trace.Workload
 	// TraceFile, when non-empty, replaces Workload with the recorded
-	// trace stored at this path (internal/trace binary format): Run
+	// trace stored at this path (internal/trace binary format): the run
 	// decodes the file, replays its per-core request streams, and sets
 	// Cores to the trace's recorded core count and Seed to the trace's
 	// recorded seed — the Seed override keeps randomized trackers
 	// (PARA/MINT) on the same RNG chain as the live run, which the
 	// replay-equivalence contract requires. An unreadable or corrupt
-	// file panics — callers wanting a recoverable error, or a different
-	// tracker seed over the same recorded stream, should load the trace
-	// themselves (trace.ReadFile + Trace.Workload) and set Workload
-	// directly.
+	// file is a typed error from RunContext (a panic from the deprecated
+	// Run); callers wanting a different tracker seed over the same
+	// recorded stream should load the trace themselves (trace.ReadFile +
+	// Trace.Workload) and set Workload directly.
 	TraceFile string
 	Cores     int
 	CPU       cpu.Config
@@ -93,6 +95,42 @@ type Config struct {
 	// ClockEventDriven, which is bit-identical to ClockCycleAccurate and
 	// skips idle cycles.
 	Clock ClockMode
+}
+
+// Validate reports whether the config is a well-formed simulation
+// request, returning a typed error (wrapping errs.ErrBadSpec) otherwise.
+// It covers everything RunContext would reject — a missing workload or
+// core count, an unknown tracker or clock mode, negative instruction
+// budgets, an invalid defense design — except the trace file itself,
+// whose decoding happens (and can fail) only when the run starts.
+// Internal invariants are not its concern; those still panic.
+func (cfg Config) Validate() error {
+	if cfg.TraceFile == "" {
+		if cfg.Workload.NewGenerator == nil {
+			return fmt.Errorf("sim: %w: no workload (set Workload or TraceFile)", errs.ErrBadSpec)
+		}
+		if cfg.Cores <= 0 {
+			return fmt.Errorf("sim: %w: need at least one core (got %d)", errs.ErrBadSpec, cfg.Cores)
+		}
+	}
+	switch cfg.Tracker {
+	case TrackerNone, TrackerGraphene, TrackerPARA, TrackerMithril, TrackerMINT:
+	default:
+		return fmt.Errorf("sim: %w: unknown tracker %q", errs.ErrBadSpec, cfg.Tracker)
+	}
+	switch cfg.Clock {
+	case ClockEventDriven, ClockCycleAccurate, ClockLockstep:
+	default:
+		return fmt.Errorf("sim: %w: unknown clock mode %d", errs.ErrBadSpec, cfg.Clock)
+	}
+	if cfg.WarmupInstructions < 0 || cfg.RunInstructions < 0 {
+		return fmt.Errorf("sim: %w: negative instruction budget (warmup %d, run %d)",
+			errs.ErrBadSpec, cfg.WarmupInstructions, cfg.RunInstructions)
+	}
+	if err := cfg.Design.Validate(); err != nil {
+		return fmt.Errorf("sim: %w: %v", errs.ErrBadSpec, err)
+	}
+	return nil
 }
 
 // DefaultConfig returns the Table II system around the given workload and
@@ -138,7 +176,10 @@ func (r Result) NormalizeTo(baseline Result) float64 {
 	return stats.NormalizedWeightedSpeedup(r.IPC, baseline.IPC)
 }
 
-// Run executes the simulation.
+// Run executes the simulation. It panics on invalid input and cannot be
+// cancelled; it is kept so pre-Lab call sites keep compiling and behaving
+// bit-identically. New callers should use RunContext (or impress.Lab.Run),
+// which returns typed errors and honors context cancellation.
 //
 // Run is safe for concurrent use: every call builds a private simulator —
 // its own RNG chain seeded from cfg.Seed, trace generators, cores, LLC
@@ -150,23 +191,47 @@ func (r Result) NormalizeTo(baseline Result) float64 {
 // uses it; Design, Workload and cpu/cache configs are plain values, so
 // sharing one Config template across goroutines by copy is fine.
 func Run(cfg Config) Result {
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	return res
+}
+
+// RunContext executes the simulation under a context. Invalid caller
+// input — a config failing Validate, an unreadable or corrupt trace
+// file — returns a typed error wrapping errs.ErrBadSpec; internal
+// invariant violations (lockstep divergence, the MaxCycles deadlock
+// bound, a replay recording exhausted mid-run) still panic.
+//
+// Cancellation is honored at macro-cycle boundaries: the done channel is
+// polled once per 6-tick macro cycle, before any component steps, so the
+// run returns within one macro cycle of ctx ending — with an error
+// matching both errs.ErrCancelled and ctx.Err() — while the hot loop
+// pays only a nil-check when the context cannot be cancelled (the
+// event-driven clock's idle skips fast-forward past the poll exactly as
+// they fast-forward past the cycles themselves). RunContext has the same
+// concurrency contract as Run.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.TraceFile != "" {
 		t, err := trace.ReadFile(cfg.TraceFile)
 		if err != nil {
-			panic(fmt.Sprintf("sim: %v", err))
+			return Result{}, fmt.Errorf("sim: %w: %v", errs.ErrBadSpec, err)
 		}
 		w, err := t.Workload()
 		if err != nil {
-			panic(fmt.Sprintf("sim: %v", err))
+			return Result{}, fmt.Errorf("sim: %w: %v", errs.ErrBadSpec, err)
 		}
 		cfg.Workload = w
 		cfg.Cores = len(t.PerCore)
 		cfg.Seed = t.Seed
 	}
-	if cfg.Cores <= 0 {
-		panic("sim: need at least one core")
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
 	}
 	s := newSimulator(cfg)
+	s.done = ctx.Done()
+	s.ctxErr = ctx.Err
 	return s.run()
 }
 
@@ -207,6 +272,14 @@ type simulator struct {
 
 	// shadow is the cycle-accurate twin driven in ClockLockstep mode.
 	shadow *simulator
+
+	// done and ctxErr carry the run's cancellation signal (RunContext).
+	// done is nil for uncancellable contexts — context.Background() and
+	// the deprecated Run path — so the per-macro-cycle poll degenerates
+	// to one nil-check. The shadow simulator never carries them: it is
+	// stepped by the primary, which polls for both.
+	done   <-chan struct{}
+	ctxErr func() error
 }
 
 type mshr struct {
@@ -612,8 +685,34 @@ func (s *simulator) assertLockstep(skipped int64) {
 	}
 }
 
-func (s *simulator) runUntilRetired(target int64) {
+// cancelled polls the run's context at a macro-cycle boundary. The
+// fast path — no cancellable context — is a single nil-check, so the
+// deprecated Run path and the cycle-accurate reference clock pay nothing
+// measurable for cancellability.
+func (s *simulator) cancelled() bool {
+	if s.done == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelErr builds the typed cancellation error for the current run,
+// matching both errs.ErrCancelled and the context's own error.
+func (s *simulator) cancelErr() error {
+	return fmt.Errorf("sim: %s stopped after %d cycles: %w",
+		s.cfg.Workload.Name, s.tick/6, errs.Cancelled(s.ctxErr()))
+}
+
+func (s *simulator) runUntilRetired(target int64) error {
 	for {
+		if s.cancelled() {
+			return s.cancelErr()
+		}
 		done := true
 		for _, c := range s.cores {
 			if c.Retired() < target {
@@ -622,16 +721,18 @@ func (s *simulator) runUntilRetired(target int64) {
 			}
 		}
 		if done {
-			return
+			return nil
 		}
 		s.advance(target)
 	}
 }
 
-func (s *simulator) run() Result {
+func (s *simulator) run() (Result, error) {
 	// Warmup.
 	if s.cfg.WarmupInstructions > 0 {
-		s.runUntilRetired(s.cfg.WarmupInstructions)
+		if err := s.runUntilRetired(s.cfg.WarmupInstructions); err != nil {
+			return Result{}, err
+		}
 	}
 	memBase := s.mc.Stats()
 	for _, c := range s.cores {
@@ -650,6 +751,9 @@ func (s *simulator) run() Result {
 	}
 	startCycle := s.cores[0].Cycles()
 	for {
+		if s.cancelled() {
+			return Result{}, s.cancelErr()
+		}
 		done := true
 		for _, c := range s.cores {
 			if !c.Finished() {
@@ -677,5 +781,5 @@ func (s *simulator) run() Result {
 	}
 	res.Mem = s.mc.Stats().Sub(memBase)
 	res.LLCHitRate = s.llc.HitRate()
-	return res
+	return res, nil
 }

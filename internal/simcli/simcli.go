@@ -1,15 +1,22 @@
-// Package simcli holds the simulation flag set, config assembly and
-// result reporting shared by the CLIs that drive sim.Run
-// (cmd/impress-sim and cmd/impress-trace replay), so the two cannot
-// drift apart as parameters and counters are added.
+// Package simcli holds the simulation flag set, config assembly, Lab
+// construction and result reporting shared by the CLIs that drive
+// simulations (cmd/impress-sim and cmd/impress-trace replay), so the
+// two cannot drift apart as parameters and counters are added. Runs go
+// through impress.Lab — context-first, cancellable, progress-streamed —
+// with this package supplying the flag plumbing around it.
 package simcli
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
+	"impress"
 	"impress/internal/core"
 	"impress/internal/dram"
 	"impress/internal/resultstore"
@@ -161,51 +168,103 @@ func (f *Flags) ApplyTrace(cfg *sim.Config, fs *flag.FlagSet, path string) (*tra
 	return t, nil
 }
 
-// Run executes the simulation, converting panics — a replay recording
-// too short for the run, an unknown tracker, a lockstep divergence — into
+// SignalContext returns a context cancelled by SIGINT/SIGTERM — the
+// CLIs' root context, so ctrl-C stops a run at its next cancellation
+// point (one simulation macro cycle, one sweep spec) instead of killing
+// the process mid-write. The second signal falls through to the default
+// handler (hard kill), per signal.NotifyContext semantics.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Counts accumulates a Lab's progress events for the CLI summary lines.
+// Progress callbacks are serialized by the Lab, so plain fields suffice.
+type Counts struct {
+	Started, CacheHits, Simulated int64
+}
+
+// Observe is the progress callback feeding the counts.
+func (c *Counts) Observe(p impress.Progress) {
+	switch p.Kind {
+	case impress.ProgressSpecStarted:
+		c.Started++
+	case impress.ProgressSpecCacheHit:
+		c.CacheHits++
+	case impress.ProgressSpecFinished:
+		c.Simulated++
+	}
+}
+
+// NewLab builds the Lab a CLI runs through: the given result store
+// (nil disables caching) and a progress stream feeding counts.
+func NewLab(store *resultstore.Store, counts *Counts) (*impress.Lab, error) {
+	return impress.NewLab(
+		impress.WithResultStore(store),
+		impress.WithProgress(counts.Observe),
+	)
+}
+
+// Run executes the simulation under ctx, converting internal panics — a
+// replay recording too short for the run, a lockstep divergence — into
 // errors so CLIs report one clean line and exit non-zero instead of
-// dumping a stack trace.
-func Run(cfg sim.Config) (res sim.Result, err error) {
+// dumping a stack trace. Invalid input and cancellation come back as
+// sim.RunContext's typed errors.
+func Run(ctx context.Context, cfg sim.Config) (res sim.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("simulation failed: %v", p)
 		}
 	}()
-	return sim.Run(cfg), nil
+	return sim.RunContext(ctx, cfg)
 }
 
-// RunCached executes the simulation through a persistent result store: a
-// stored result for cfg's canonical spec is returned without simulating
-// (hit reports which path was taken), a miss simulates and writes back.
-// A nil store degrades to Run. Results are bit-identical across clock
-// modes, so the store serves every -clock value from one entry; run
-// without -cache-dir (or use `impress-experiments cache verify`) to force
-// a fresh simulation.
-func RunCached(st *resultstore.Store, cfg sim.Config) (res sim.Result, hit bool, err error) {
-	if st == nil {
-		res, err = Run(cfg)
-		return res, false, err
-	}
-	sp, err := resultstore.SpecFor(cfg)
-	if err != nil {
-		return sim.Result{}, false, err
-	}
-	if res, ok := st.Get(sp); ok {
-		return res, true, nil
-	}
-	if res, err = Run(cfg); err != nil {
-		return res, false, err
-	}
-	// A failed write loses persistence, not the run; it is counted in
-	// st.Counters().WriteErrors for ReportCacheOutcome's warning line.
-	_ = st.Put(sp, res)
-	return res, false, nil
+// RunLab executes cfg through the Lab with the same panic-to-error
+// conversion as Run, serving and populating the Lab's store.
+func RunLab(ctx context.Context, lab *impress.Lab, cfg sim.Config) (res sim.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("simulation failed: %v", p)
+		}
+	}()
+	return lab.Run(ctx, cfg)
 }
 
-// ReportCacheOutcome prints the standard stderr notices after a
-// RunCached call: where a hit was served from, and whether caching the
-// fresh result failed (persistence lost, run unaffected). A nil store
-// prints nothing.
+// UsageError reports whether err is invalid caller input (a bad spec or
+// unknown workload) — the class CLIs map to exit code 2, distinct from
+// run failures (exit 1).
+func UsageError(err error) bool {
+	return errors.Is(err, impress.ErrBadSpec) || errors.Is(err, impress.ErrUnknownWorkload)
+}
+
+// ReportInterrupted recognizes a cancellation error, prints the
+// standard interruption notice — plus the resume hint when a result
+// store was in play (cacheDir non-empty) — and reports whether err was
+// one. Commands whose runs never touch the store (impress-attack,
+// trace recording) pass "" and get the notice alone; store-capable
+// commands interrupted without a store follow up with SuggestStore.
+// CLIs call it first in their error handling and exit non-zero when it
+// fires.
+func ReportInterrupted(stderr io.Writer, err error, cacheDir string) bool {
+	if err == nil || !errors.Is(err, impress.ErrCancelled) && !errors.Is(err, context.Canceled) {
+		return false
+	}
+	fmt.Fprintf(stderr, "interrupted: %v\n", err)
+	if cacheDir != "" {
+		fmt.Fprintf(stderr, "completed simulations were saved; resume by rerunning with the same -cache-dir %s\n", cacheDir)
+	}
+	return true
+}
+
+// SuggestStore prints the follow-up for store-capable commands
+// interrupted without one attached.
+func SuggestStore(stderr io.Writer) {
+	fmt.Fprintln(stderr, "no result store was attached; rerun with -cache-dir (or $IMPRESS_CACHE) to make interrupted runs resumable")
+}
+
+// ReportCacheOutcome prints the standard stderr notices after a Lab run
+// (hit = counts.CacheHits > 0 from the progress stream): where a hit
+// was served from, and whether caching the fresh result failed
+// (persistence lost, run unaffected). A nil store prints nothing.
 func ReportCacheOutcome(stderr io.Writer, st *resultstore.Store, hit bool) {
 	if st == nil {
 		return

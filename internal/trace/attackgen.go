@@ -5,6 +5,7 @@ import (
 
 	"impress/internal/attack"
 	"impress/internal/dram"
+	"impress/internal/errs"
 	"impress/internal/memctrl"
 )
 
@@ -55,8 +56,8 @@ func newAttackPattern(name string, t dram.Timings) (attack.Pattern, error) {
 	case "interleaved":
 		return &attack.InterleavedRHRP{Row: 1, BurstLen: 8, HoldTON: t.TREFI, Timings: t}, nil
 	default:
-		return nil, fmt.Errorf("trace: unknown attack pattern %q (have %v)",
-			name, AttackPatternNames())
+		return nil, fmt.Errorf("trace: %w: unknown attack pattern %q (have %v)",
+			errs.ErrUnknownWorkload, name, AttackPatternNames())
 	}
 }
 

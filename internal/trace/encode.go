@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
+
+	"impress/internal/errs"
 )
 
 // This file implements the portable binary trace format (version 1) and
@@ -82,9 +85,27 @@ func (t *Trace) Requests() int {
 // bit-identically as long as perCore covers every request the simulated
 // cores consume; the replay generator fails loudly if it does not.
 func Record(w Workload, cores, perCore int, seed uint64) *Trace {
-	if cores <= 0 || perCore <= 0 {
-		panic("trace: Record needs positive core and request counts")
+	t, err := RecordContext(context.Background(), w, cores, perCore, seed)
+	if err != nil {
+		panic(fmt.Sprintf("trace: %v", err))
 	}
+	return t
+}
+
+// RecordContext is Record with caller-input validation surfaced as typed
+// errors (errs.ErrBadSpec) instead of panics, and cooperative
+// cancellation: ctx is checked between per-core drains and every few
+// thousand requests, so recording a multi-million-request trace stops
+// promptly when the context ends (errs.ErrCancelled wrapping ctx.Err()).
+func RecordContext(ctx context.Context, w Workload, cores, perCore int, seed uint64) (*Trace, error) {
+	if w.NewGenerator == nil {
+		return nil, fmt.Errorf("%w: workload %q has no generator", errs.ErrBadSpec, w.Name)
+	}
+	if cores <= 0 || perCore <= 0 {
+		return nil, fmt.Errorf("%w: Record needs positive core and request counts (got %d cores x %d)",
+			errs.ErrBadSpec, cores, perCore)
+	}
+	done := ctx.Done()
 	t := &Trace{
 		Name:     w.Name,
 		Stream:   w.Stream,
@@ -96,11 +117,18 @@ func Record(w Workload, cores, perCore int, seed uint64) *Trace {
 		g := w.NewGenerator(c, seed)
 		reqs := make([]Request, perCore)
 		for i := range reqs {
+			if done != nil && i&0xfff == 0 {
+				select {
+				case <-done:
+					return nil, fmt.Errorf("recording %q: %w", w.Name, errs.Cancelled(ctx.Err()))
+				default:
+				}
+			}
 			reqs[i] = g.Next()
 		}
 		t.PerCore[c] = reqs
 	}
-	return t
+	return t, nil
 }
 
 // zigzag maps signed deltas onto unsigned varint-friendly values.

@@ -3,6 +3,8 @@ package trace
 import (
 	"fmt"
 	"strings"
+
+	"impress/internal/errs"
 )
 
 // This file defines the 20 workloads of the paper's evaluation (Section
@@ -135,7 +137,8 @@ func WorkloadByName(name string) (Workload, error) {
 		}
 	}
 	return Workload{}, fmt.Errorf(
-		"trace: unknown workload %q (want a built-in name, \"mix:a,b,...\" or \"attack:<pattern>\")", name)
+		"trace: %w %q (want a built-in name, \"mix:a,b,...\" or \"attack:<pattern>\")",
+		errs.ErrUnknownWorkload, name)
 }
 
 // mix interleaves two kernel generators, switching every switchEvery
