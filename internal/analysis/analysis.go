@@ -1,0 +1,163 @@
+// Package analysis is a self-contained, stdlib-only reimplementation of
+// the go/analysis vocabulary (DESIGN.md §10): Analyzer, Pass and
+// Diagnostic, plus a package loader built on `go list -export` and the
+// gc export-data importer. It exists because the repository's invariant
+// suite (impress-lint) must run without any module dependency on
+// golang.org/x/tools; the API is deliberately shaped so the analyzers
+// would port mechanically if that dependency ever became available.
+//
+// An Analyzer checks one invariant family over one package at a time.
+// Analyzers that need a whole-module view (hotpath's transitive callee
+// walk) read Pass.ModulePkgs, which holds every in-module package of the
+// load in dependency order; in per-package driver modes (go vet
+// -vettool) it degrades to just the package under analysis and the
+// analyzer documents the reduced scope.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// An Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package, reporting violations
+	// through pass.Report. A returned error aborts the whole lint run
+	// (it means the analyzer itself failed, not that the code is bad).
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run over one package.
+type Pass struct {
+	// Analyzer is the checker being run.
+	Analyzer *Analyzer
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// ModulePkgs holds every in-module package available to this run,
+	// in dependency order, always including Pkg. Whole-program
+	// analyzers (hotpath) traverse it; per-package analyzers ignore it.
+	ModulePkgs []*Package
+	// ModulePath is the module being linted (e.g. "impress"), used to
+	// distinguish in-module callees from external ones.
+	ModulePath string
+	// Report records one violation.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a violation at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Package is one loaded, parsed and type-checked package.
+type Package struct {
+	// PkgPath is the canonical import path.
+	PkgPath string
+	// Dir is the directory holding the package sources.
+	Dir string
+	// Fset is the file set all Syntax positions resolve against; it is
+	// shared by every package of one load.
+	Fset *token.FileSet
+	// Syntax holds the parsed files, with comments.
+	Syntax []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// TypesInfo holds the type-checking facts for Syntax.
+	TypesInfo *types.Info
+	// InModule reports whether the package belongs to the linted module
+	// (as opposed to a standard-library or external dependency).
+	InModule bool
+	// Module is the path of the module the package belongs to ("" for
+	// standard-library packages).
+	Module string
+	// Root reports whether the package was named by the load patterns
+	// (analyzers run on root packages; dep-only module packages are
+	// available through ModulePkgs for whole-program traversal).
+	Root bool
+}
+
+// A Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Pos
+	// Message describes it. By convention it ends without a period and
+	// names the offending construct first.
+	Message string
+	// Analyzer is the reporting analyzer's name (filled by the runner).
+	Analyzer string
+	// Position is Pos resolved against the load's file set (filled by
+	// the runner).
+	Position token.Position
+}
+
+// String formats the diagnostic the way compilers do:
+// path:line:col: message [analyzer].
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// Run applies every analyzer to every root package of pkgs and returns
+// the surviving diagnostics sorted by position, plus the diagnostics
+// that //lint:ignore directives suppressed (callers report their count;
+// the tree itself is expected to carry none — DESIGN.md §10).
+func Run(pkgs []*Package, analyzers []*Analyzer) (diags, suppressed []Diagnostic, err error) {
+	modulePkgs := make([]*Package, 0, len(pkgs))
+	for _, p := range pkgs {
+		if p.InModule {
+			modulePkgs = append(modulePkgs, p)
+		}
+	}
+	for _, p := range pkgs {
+		if !p.Root || !p.InModule {
+			continue
+		}
+		sup := suppressions(p)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Pkg:        p,
+				ModulePkgs: modulePkgs,
+				ModulePath: p.Module,
+			}
+			pass.Report = func(d Diagnostic) {
+				d.Analyzer = a.Name
+				d.Position = p.Fset.Position(d.Pos)
+				if sup.matches(d) {
+					suppressed = append(suppressed, d)
+					return
+				}
+				diags = append(diags, d)
+			}
+			if rerr := a.Run(pass); rerr != nil {
+				return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, p.PkgPath, rerr)
+			}
+		}
+	}
+	sortDiags(diags)
+	sortDiags(suppressed)
+	return diags, suppressed, nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		pi, pj := ds[i].Position, ds[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

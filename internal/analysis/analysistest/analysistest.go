@@ -1,0 +1,143 @@
+// Package analysistest runs analyzers over golden fixture packages and
+// checks the reported diagnostics against `// want "regex"` comments in
+// the fixture sources, mirroring golang.org/x/tools' analysistest so
+// the suites would port mechanically if that dependency ever became
+// available.
+//
+// A want comment holds one or more quoted regular expressions and
+// asserts that each matches a distinct diagnostic reported on the
+// comment's line:
+//
+//	for _, v := range m { // want `iteration over map`
+//
+// Every diagnostic must be wanted and every want must be matched;
+// either direction of disagreement fails the test. Fixtures live under
+// the analyzer's testdata directory — which `./...` patterns skip, so
+// seeded violations never reach the tree's own lint run — but they are
+// full in-module packages and must parse, type-check and stay
+// gofmt-clean.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"impress/internal/analysis"
+)
+
+// wantMarker introduces an expectation comment.
+const wantMarker = "want "
+
+// expectation is one quoted regex of a want comment.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages (patterns resolved relative to dir,
+// conventionally the analyzer package's own directory with patterns
+// like "./testdata/src/fix"), applies the analyzers, and reports any
+// mismatch between diagnostics and want comments as test errors.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", patterns, err)
+	}
+	diags, suppressed, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range suppressed {
+		t.Errorf("fixture suppresses a diagnostic (fixtures assert with want comments, not //lint:ignore): %s", d)
+	}
+
+	wants, lines := collectWants(t, pkgs)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Position.Filename, d.Position.Line)
+		if !match(wants[key], d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, key := range lines {
+		for _, w := range wants[key] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %s", key, w.raw)
+			}
+		}
+	}
+}
+
+// match consumes the first unmatched expectation whose regex matches
+// message.
+func match(wants []*expectation, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the want comments of every root fixture package,
+// keyed by "filename:line", plus the keys in deterministic order.
+func collectWants(t *testing.T, pkgs []*analysis.Package) (map[string][]*expectation, []string) {
+	t.Helper()
+	wants := make(map[string][]*expectation)
+	var lines []string
+	for _, p := range pkgs {
+		if !p.Root {
+			continue
+		}
+		for _, file := range p.Syntax {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, wantMarker) {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					if _, seen := wants[key]; !seen {
+						lines = append(lines, key)
+					}
+					wants[key] = append(wants[key], parseWants(t, key, strings.TrimPrefix(text, wantMarker))...)
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return wants, lines
+}
+
+// parseWants parses the quoted regexes of one want comment body.
+func parseWants(t *testing.T, key, body string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for body = strings.TrimSpace(body); body != ""; body = strings.TrimSpace(body) {
+		quoted, err := strconv.QuotedPrefix(body)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment (expected quoted regexes): %q", key, body)
+		}
+		raw, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: unquoting %s: %v", key, quoted, err)
+		}
+		re, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("%s: compiling want regex %s: %v", key, quoted, err)
+		}
+		out = append(out, &expectation{re: re, raw: quoted})
+		body = body[len(quoted):]
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment carries no regexes", key)
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"impress/internal/analysis"
+	"impress/internal/analysis/analysistest"
+	"impress/internal/analysis/ctxfirst"
+)
+
+func TestGolden(t *testing.T) {
+	az := ctxfirst.New(ctxfirst.Config{
+		Packages:     []string{"impress/internal/analysis/ctxfirst/testdata/src/ctxfix"},
+		AllowFuncs:   []string{"NewLab"},
+		RunTypes:     []string{"Lab"},
+		AllowMethods: []string{"Lab.Store"},
+	})
+	analysistest.Run(t, ".", []*analysis.Analyzer{az}, "./testdata/src/ctxfix")
+}

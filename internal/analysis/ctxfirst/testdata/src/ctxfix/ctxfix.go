@@ -1,0 +1,41 @@
+// Package ctxfix seeds context-first violations for the analyzer's
+// golden suite: the historical bug class is a public run-performing
+// entry point without a context.Context, which cannot be cancelled.
+package ctxfix
+
+import "context"
+
+// Lab is the run-performing type (the suite config names it in
+// RunTypes).
+type Lab struct{}
+
+// NewLab is a pure constructor, allowlisted via AllowFuncs.
+func NewLab() *Lab { return &Lab{} }
+
+// Run takes its context first: allowed.
+func (l *Lab) Run(ctx context.Context, spec string) error { return ctx.Err() }
+
+// Store performs no run work and sits on the frozen AllowMethods list.
+func (l *Lab) Store() string { return "" }
+
+// Sweep performs runs but takes no context.
+func (l *Lab) Sweep(specs []string) error { // want `public entry point Lab\.Sweep does not take a context\.Context`
+	return nil
+}
+
+// RunAll is the package-level version of the same bug.
+func RunAll(specs []string) error { // want `public entry point RunAll does not take a context\.Context`
+	return nil
+}
+
+// Render is a package-level function with its context first: allowed.
+func Render(ctx context.Context, spec string) error { return ctx.Err() }
+
+// Spec is a data carrier, not a run type: its methods are exempt.
+type Spec struct{ Name string }
+
+// Normalize is exempt because Spec is not a RunType.
+func (s Spec) Normalize() Spec { return s }
+
+// helper is unexported: exempt.
+func helper() {}

@@ -1,0 +1,430 @@
+// Package determinism flags code whose output can depend on sources of
+// run-to-run nondeterminism: map iteration order reaching output or
+// order-sensitive accumulation without an intervening sort, wall-clock
+// reads, the global math/rand source, and unsorted directory listings
+// (DESIGN.md §10). The map rule runs module-wide; the others only in
+// the configured strict packages, whose outputs are contractually
+// bit-identical across runs (sim, experiments, trace, resultstore).
+//
+// The map rule is the static form of the Figure15 lesson: a `range`
+// over a map is only allowed when every statement it executes is
+// provably order-insensitive — integer commutative accumulation, writes
+// keyed by the iteration variables, deletes — or when it merely
+// collects elements into a slice that is sorted later in the same
+// function. Everything else (appends that stay unsorted, float
+// accumulation, early returns, arbitrary calls) is flagged: float
+// addition is not associative, so even an innocent-looking `sum += v`
+// over map values perturbs low-order bits between runs, which is
+// exactly how the Figure15 geomeans drifted.
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"impress/internal/analysis"
+)
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// StrictPkgs are the import paths whose entire output is
+	// contractually deterministic; the wall-clock, global-rand and
+	// unsorted-directory-listing rules apply only there.
+	StrictPkgs []string
+	// WallclockOK lists functions (as "pkgpath.Func" or
+	// "pkgpath.Recv.Method") inside strict packages that may read the
+	// wall clock because they are maintenance paths whose results never
+	// reach simulation output (e.g. the result store's temp-file TTL
+	// check). Additions require the same review bar as the ctxfirst
+	// allowlist.
+	WallclockOK []string
+}
+
+// New returns the determinism analyzer.
+func New(cfg Config) *analysis.Analyzer {
+	strict := make(map[string]bool, len(cfg.StrictPkgs))
+	for _, p := range cfg.StrictPkgs {
+		strict[p] = true
+	}
+	wallclockOK := make(map[string]bool, len(cfg.WallclockOK))
+	for _, f := range cfg.WallclockOK {
+		wallclockOK[f] = true
+	}
+	return &analysis.Analyzer{
+		Name: "determinism",
+		Doc: "flags map iteration reaching output without a sort, and wall-clock/global-rand/unsorted-listing " +
+			"use in packages with bit-identical output contracts",
+		Run: func(pass *analysis.Pass) error {
+			d := &checker{pass: pass, strict: strict[pass.Pkg.PkgPath], wallclockOK: wallclockOK}
+			for _, file := range pass.Pkg.Syntax {
+				d.file(file)
+			}
+			return nil
+		},
+	}
+}
+
+type checker struct {
+	pass        *analysis.Pass
+	strict      bool
+	wallclockOK map[string]bool
+}
+
+func (c *checker) file(file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		c.fn(fn)
+	}
+}
+
+func (c *checker) fn(fn *ast.FuncDecl) {
+	exemptWallclock := c.wallclockOK[c.funcSymbol(fn)]
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			c.rangeStmt(fn, n)
+		case *ast.CallExpr:
+			if c.strict {
+				c.strictCall(n, exemptWallclock)
+			}
+		}
+		return true
+	})
+}
+
+// funcSymbol names fn as pkgpath.Func or pkgpath.Recv.Method.
+func (c *checker) funcSymbol(fn *ast.FuncDecl) string {
+	name := fn.Name.Name
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		t := fn.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return c.pass.Pkg.PkgPath + "." + name
+}
+
+// strictCall applies the strict-package rules to one call expression.
+func (c *checker) strictCall(call *ast.CallExpr, exemptWallclock bool) {
+	info := c.pass.Pkg.TypesInfo
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	switch pkg {
+	case "time":
+		if !exemptWallclock && (name == "Now" || name == "Since" || name == "Until") {
+			c.pass.Reportf(call.Pos(),
+				"time.%s in a deterministic package: results must not depend on the wall clock "+
+					"(move the read out of the result path or add the function to the reviewed wallclock allowlist)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		if sig != nil && sig.Recv() == nil && !randConstructor(name) {
+			c.pass.Reportf(call.Pos(),
+				"%s.%s uses the process-global random source: derive a seeded *rand.Rand from the run spec instead",
+				pkg, name)
+		}
+	case "os":
+		if sig != nil && sig.Recv() != nil && (name == "Readdir" || name == "Readdirnames" || name == "ReadDir") &&
+			strings.Contains(sig.Recv().Type().String(), "os.File") {
+			c.pass.Reportf(call.Pos(),
+				"(*os.File).%s returns entries in directory order, which is filesystem-dependent: "+
+					"use os.ReadDir (sorted) or sort the result before it can affect output", name)
+		}
+	}
+}
+
+// randConstructor reports package-level math/rand functions that build
+// explicitly seeded generators rather than reading the global source.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+// calleeFunc resolves the called function, if it is a static call.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// rangeStmt applies the map-iteration rule.
+func (c *checker) rangeStmt(fn *ast.FuncDecl, rs *ast.RangeStmt) {
+	info := c.pass.Pkg.TypesInfo
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	w := &rangeWalker{info: info}
+	w.block(rs.Body)
+	if w.reason == "" {
+		// Collected slices must be sorted later in the same function.
+		for _, target := range w.collected {
+			if !sortedAfter(info, fn.Body, rs.End(), target.obj) {
+				w.fail(target.pos, fmt.Sprintf("appends to %q, which is never sorted afterwards in this function",
+					target.obj.Name()))
+				break
+			}
+		}
+	}
+	if w.reason != "" {
+		c.pass.Reportf(rs.Pos(),
+			"iteration over map %s can reach output in nondeterministic order: %s "+
+				"(collect the keys, sort them, and iterate the sorted slice)",
+			types.TypeString(t, types.RelativeTo(c.pass.Pkg.Types)), w.reason)
+	}
+}
+
+// collectTarget is a slice variable a map range appends to; it must be
+// sorted after the loop.
+type collectTarget struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// rangeWalker classifies a map-range body as order-insensitive or not,
+// recording the first reason it is not.
+type rangeWalker struct {
+	info      *types.Info
+	reason    string
+	collected []collectTarget
+}
+
+func (w *rangeWalker) fail(pos token.Pos, reason string) {
+	if w.reason == "" {
+		w.reason = reason
+	}
+}
+
+func (w *rangeWalker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *rangeWalker) stmt(s ast.Stmt) {
+	if w.reason != "" {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(s)
+	case *ast.IncDecStmt:
+		// x++ adds the same constant each iteration: order-free.
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok && isBuiltin(w.info, call, "delete") {
+			return
+		}
+		w.fail(s.Pos(), "executes a call whose effects may be order-sensitive")
+	case *ast.BlockStmt:
+		w.block(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if !sideEffectFree(w.info, s.Cond) {
+			w.fail(s.Cond.Pos(), "branches on a condition with function calls")
+			return
+		}
+		w.block(s.Body)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.RangeStmt:
+		w.block(s.Body)
+	case *ast.ForStmt:
+		if s.Cond != nil && !sideEffectFree(w.info, s.Cond) {
+			w.fail(s.Cond.Pos(), "loops on a condition with function calls")
+			return
+		}
+		w.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Tag != nil && !sideEffectFree(w.info, s.Tag) {
+			w.fail(s.Tag.Pos(), "switches on an expression with function calls")
+			return
+		}
+		for _, cc := range s.Body.List {
+			for _, cs := range cc.(*ast.CaseClause).Body {
+				w.stmt(cs)
+			}
+		}
+	case *ast.DeclStmt:
+		// Local declarations introduce per-iteration state; fine.
+	case *ast.BranchStmt:
+		if s.Tok != token.CONTINUE || s.Label != nil {
+			w.fail(s.Pos(), describeStmt(s))
+		}
+	default:
+		w.fail(s.Pos(), describeStmt(s))
+	}
+}
+
+// assign classifies one assignment inside a map range.
+func (w *rangeWalker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// append-collection: x = append(x, ...) — legal if x is sorted
+		// after the loop (checked by the caller).
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if lhs, ok := s.Lhs[0].(*ast.Ident); ok {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(w.info, call, "append") {
+					if obj := w.info.ObjectOf(lhs); obj != nil {
+						w.collected = append(w.collected, collectTarget{obj: obj, pos: s.Pos()})
+						return
+					}
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			switch lhs := lhs.(type) {
+			case *ast.IndexExpr:
+				// m[k] = v or s[i] = v: the destination is keyed by the
+				// iteration, not by its order.
+			case *ast.Ident:
+				// := introduces a fresh per-iteration local; plain = to a
+				// variable that outlives the iteration is order-sensitive
+				// (last writer wins).
+				if s.Tok == token.ASSIGN && lhs.Name != "_" {
+					w.fail(s.Pos(), fmt.Sprintf("assigns %q, whose final value depends on iteration order", lhs.Name))
+					return
+				}
+			default:
+				w.fail(s.Pos(), "assigns to a destination whose final value may depend on iteration order")
+				return
+			}
+		}
+		for _, rhs := range s.Rhs {
+			if !sideEffectFree(w.info, rhs) {
+				w.fail(s.Pos(), "assigns from an expression with function calls")
+				return
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		t := w.info.TypeOf(s.Lhs[0])
+		if t == nil || !isInteger(t) {
+			w.fail(s.Pos(), fmt.Sprintf(
+				"accumulates with %s into a non-integer: floating-point accumulation is not associative, "+
+					"so the low-order bits depend on iteration order (the Figure15 bug class)", s.Tok))
+			return
+		}
+		if !sideEffectFree(w.info, s.Rhs[0]) {
+			w.fail(s.Pos(), "accumulates from an expression with function calls")
+		}
+	default:
+		w.fail(s.Pos(), fmt.Sprintf("accumulates with %s, which is order-sensitive", s.Tok))
+	}
+}
+
+func describeStmt(s ast.Stmt) string {
+	switch s.(type) {
+	case *ast.ReturnStmt:
+		return "returns from inside the loop, so the result depends on which key is visited first"
+	case *ast.BranchStmt:
+		return "breaks out of the loop, so the effect depends on which key is visited first"
+	case *ast.SendStmt:
+		return "sends on a channel in iteration order"
+	case *ast.GoStmt:
+		return "launches goroutines whose interleaving follows iteration order"
+	case *ast.DeferStmt:
+		return "defers calls that run in iteration order"
+	default:
+		return "executes a statement whose effects may be order-sensitive"
+	}
+}
+
+// isInteger reports whether t's core type is an integer.
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sideEffectFree reports whether e contains no function calls other
+// than the pure builtins len, cap, min, max and type conversions.
+func sideEffectFree(info *types.Info, e ast.Expr) bool {
+	pure := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBuiltin(info, call, "len") || isBuiltin(info, call, "cap") ||
+			isBuiltin(info, call, "min") || isBuiltin(info, call, "max") {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion
+		}
+		pure = false
+		return false
+	})
+	return pure
+}
+
+// sortedAfter reports whether a sort call referencing obj appears after
+// pos within body: any call to a function of package sort or to a
+// slices.Sort* function whose arguments mention obj.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg, name := fn.Pkg().Path(), fn.Name()
+		isSort := pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"impress/internal/analysis"
+	"impress/internal/analysis/analysistest"
+	"impress/internal/analysis/determinism"
+)
+
+const fixturePkg = "impress/internal/analysis/determinism/testdata/src/detfix"
+
+func TestGolden(t *testing.T) {
+	az := determinism.New(determinism.Config{
+		StrictPkgs:  []string{fixturePkg},
+		WallclockOK: []string{fixturePkg + ".TTLCheck"},
+	})
+	analysistest.Run(t, ".", []*analysis.Analyzer{az}, "./testdata/src/detfix")
+}

@@ -1,0 +1,94 @@
+// Package detfix seeds determinism violations for the analyzer's golden
+// suite. Each flagged line reproduces a historical bug class; the
+// unflagged functions pin down the allowed idioms so the analyzer
+// cannot silently over-trigger.
+package detfix
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// GeomeanDrift is the Figure15 bug class: float accumulation over map
+// values perturbs low-order bits with iteration order.
+func GeomeanDrift(samples map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range samples { // want `Figure15 bug class`
+		sum += v
+	}
+	return sum
+}
+
+// UnsortedKeys collects map keys but never sorts them.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `never sorted afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the allowed collect-then-sort idiom.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Total accumulates integers, which is commutative and associative:
+// allowed.
+func Total(counts map[string]int) int {
+	n := 0
+	for _, v := range counts {
+		n += v
+	}
+	return n
+}
+
+// FirstOver returns from inside the loop, so the winner depends on
+// which key is visited first.
+func FirstOver(m map[string]int, limit int) string {
+	for k, v := range m { // want `returns from inside the loop`
+		if v > limit {
+			return k
+		}
+	}
+	return ""
+}
+
+// Stamp reads the wall clock in a strict package.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in a deterministic package`
+}
+
+// TTLCheck also reads the wall clock but sits on the reviewed
+// allowlist (the suite passes it via Config.WallclockOK).
+func TTLCheck(t time.Time) bool {
+	return time.Since(t) > time.Hour
+}
+
+// Jitter draws from the process-global random source.
+func Jitter() float64 {
+	return rand.Float64() // want `process-global random source`
+}
+
+// SeededJitter derives an explicitly seeded generator: allowed.
+func SeededJitter(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64()
+}
+
+// RawNames lists a directory in filesystem order.
+func RawNames(f *os.File) ([]string, error) {
+	return f.Readdirnames(-1) // want `filesystem-dependent`
+}
+
+// SortedNames uses os.ReadDir, which sorts: allowed.
+func SortedNames(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	return len(entries), err
+}

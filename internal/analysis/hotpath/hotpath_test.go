@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"impress/internal/analysis"
+	"impress/internal/analysis/analysistest"
+	"impress/internal/analysis/hotpath"
+)
+
+func TestGolden(t *testing.T) {
+	analysistest.Run(t, ".", []*analysis.Analyzer{hotpath.New()}, "./testdata/src/hotfix")
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Imports    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir),
+// parses and type-checks every in-module one from source, and resolves
+// out-of-module dependencies from compiler export data. It shells out to
+// `go list -deps -export`, so the tree must build; a package that fails
+// to list, parse or type-check aborts the load with an error.
+//
+// All in-module packages are type-checked against each other from
+// source (one shared file set, one package object per import path), so
+// a types.Object obtained in one package is identical to the defining
+// package's object — whole-program analyzers depend on that.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// The main module is whichever module the pattern-named (non-dep)
+	// packages belong to; only its packages are analyzed from source.
+	var mainModule string
+	exportFiles := make(map[string]string)
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exportFiles[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && lp.Module != nil && mainModule == "" {
+			mainModule = lp.Module.Path
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exportFiles[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	exportImporter := importer.ForCompiler(fset, "gc", lookup)
+
+	// `go list -deps` emits packages in dependency order, so a single
+	// forward sweep type-checks every in-module package after its
+	// in-module imports.
+	srcPkgs := make(map[string]*types.Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := srcPkgs[path]; ok {
+			return p, nil
+		}
+		return exportImporter.Import(path)
+	})
+
+	var pkgs []*Package
+	for _, lp := range listed {
+		inModule := lp.Module != nil && !lp.Standard && lp.Module.Path == mainModule
+		if !inModule {
+			continue
+		}
+		p := &Package{
+			PkgPath:  lp.ImportPath,
+			Dir:      lp.Dir,
+			Fset:     fset,
+			InModule: true,
+			Module:   lp.Module.Path,
+			Root:     !lp.DepOnly,
+		}
+		for _, name := range lp.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", lp.ImportPath, err)
+			}
+			p.Syntax = append(p.Syntax, file)
+		}
+		p.TypesInfo = newTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, p.Syntax, p.TypesInfo)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", lp.ImportPath, err)
+		}
+		p.Types = tpkg
+		srcPkgs[lp.ImportPath] = tpkg
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := []string{
+		"list", "-deps", "-export", "-e",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Imports,Module,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	var listed []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %w", patterns, err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %v: %s: %s", patterns, lp.ImportPath, lp.Error.Err)
+		}
+		listed = append(listed, &lp)
+	}
+	return listed, nil
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

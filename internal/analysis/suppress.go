@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+)
+
+// suppressionSet records //lint:ignore directives of one package.
+//
+// The directive syntax follows the staticcheck convention:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// A directive suppresses matching diagnostics reported on its own line
+// or, when it stands alone on a line (the usual form), on the line
+// below. The reason is mandatory; a directive without one is inert.
+// Suppressed diagnostics are still collected and counted — the policy
+// (DESIGN.md §10) is that the tree carries zero suppressions, so the
+// mechanism exists for emergencies and downstream forks, not routine
+// use.
+type suppressionSet struct {
+	// byLine maps filename:line to the analyzer names suppressed there.
+	byLine map[suppressKey]map[string]bool
+}
+
+type suppressKey struct {
+	file string
+	line int
+}
+
+func suppressions(p *Package) suppressionSet {
+	set := suppressionSet{byLine: make(map[suppressKey]map[string]bool)}
+	sources := make(map[string][]byte)
+	for _, file := range p.Syntax {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				names, reason, ok := strings.Cut(strings.TrimSpace(text), " ")
+				if !ok || strings.TrimSpace(reason) == "" {
+					continue // no reason given: directive is inert
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := []int{pos.Line}
+				if aloneOnLine(sources, pos.Filename, pos.Offset) {
+					lines = append(lines, pos.Line+1)
+				}
+				for _, line := range lines {
+					key := suppressKey{file: pos.Filename, line: line}
+					m := set.byLine[key]
+					if m == nil {
+						m = make(map[string]bool)
+						set.byLine[key] = m
+					}
+					for _, name := range strings.Split(names, ",") {
+						m[strings.TrimSpace(name)] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// aloneOnLine reports whether the source before offset on its line is
+// all whitespace, reading (and memoizing) the file's bytes.
+func aloneOnLine(sources map[string][]byte, filename string, offset int) bool {
+	src, ok := sources[filename]
+	if !ok {
+		src, _ = os.ReadFile(filename)
+		sources[filename] = src
+	}
+	if offset > len(src) {
+		return false
+	}
+	for i := offset - 1; i >= 0; i-- {
+		switch src[i] {
+		case ' ', '\t':
+			continue
+		case '\n':
+			return true
+		default:
+			return false
+		}
+	}
+	return true // start of file
+}
+
+// matches reports whether d is suppressed by a directive.
+func (s suppressionSet) matches(d Diagnostic) bool {
+	m := s.byLine[suppressKey{file: d.Position.Filename, line: d.Position.Line}]
+	return m != nil && m[d.Analyzer]
+}

@@ -123,6 +123,8 @@ func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
 // Access looks up addr; on hit the line is promoted (and marked dirty for
 // writes). It returns true on hit. On miss, no state changes: the caller
 // is expected to Fill once the memory system returns data.
+//
+//impress:hotpath
 func (c *Cache) Access(addr uint64, write bool) bool {
 	set, tag := c.index(addr)
 	key := line(tag)<<lineTagShift | lineValid

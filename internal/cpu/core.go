@@ -211,6 +211,8 @@ func (c *Core) peek() {
 // valid (see SkipHint), the cycle's effect is applied arithmetically —
 // bit-identical to the full fetch/retire path by the hint's contract —
 // and the full machinery runs only at regime boundaries.
+//
+//impress:hotpath
 func (c *Core) Step() {
 	if c.hintLeft > 0 && c.hintUsable() {
 		c.Skip(1)

@@ -1,7 +1,6 @@
 package memctrl
 
 import (
-	"container/heap"
 	"fmt"
 
 	"impress/internal/clm"
@@ -11,13 +10,15 @@ import (
 )
 
 // Request is one memory transaction handed to the controller by the LLC.
+// Read completion is reported through Config.OnReadComplete rather than
+// a per-request callback: a closure per request would be an allocation
+// on the miss path (hotpath rule, DESIGN.md §10), and the owner that
+// pushed the request can recover its own state from the *Request it
+// already holds.
 type Request struct {
 	Addr  uint64
 	Write bool
 	Loc   Location
-	// OnComplete fires when the data transfer finishes (reads only; writes
-	// are posted). It may be nil.
-	OnComplete func(now dram.Tick)
 
 	arrive dram.Tick
 }
@@ -47,6 +48,12 @@ type Config struct {
 	// than ExPress's tMRO and applies identically to every design,
 	// including the No-RP baseline. Zero disables it.
 	IdleCloseAfter dram.Tick
+	// OnReadComplete, when non-nil, is called once per completed read
+	// with the finished request and its data-return tick. It replaces a
+	// per-request callback field: one controller-level function pointer
+	// costs nothing per request, where a closure per miss would allocate
+	// on the hot path.
+	OnReadComplete func(req *Request, done dram.Tick)
 }
 
 // DefaultConfig returns the Table II controller over the given design.
@@ -130,18 +137,48 @@ type closeEvent struct {
 	gen uint64
 }
 
+// closeHeap is a hand-rolled min-heap ordered by deadline. It does not
+// implement container/heap.Interface on purpose: the standard heap
+// boxes every element into an interface{} per push and pop, an
+// allocation the controller tick cannot afford (hotpath rule,
+// DESIGN.md §10).
 type closeHeap []closeEvent
 
-func (h closeHeap) Len() int            { return len(h) }
-func (h closeHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
-func (h closeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *closeHeap) Push(x interface{}) { *h = append(*h, x.(closeEvent)) }
-func (h *closeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+func (h *closeHeap) push(ev closeEvent) {
+	s := append(*h, ev)
+	*h = s
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if s[parent].at <= s[i].at {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *closeHeap) pop() closeEvent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	*h = s[:n]
+	s = s[:n]
+	for i := 0; ; {
+		small := i
+		if l := 2*i + 1; l < n && s[l].at < s[small].at {
+			small = l
+		}
+		if r := 2*i + 2; r < n && s[r].at < s[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s[i], s[small] = s[small], s[i]
+		i = small
+	}
+	return top
 }
 
 // bankCtl is the controller's per-bank state.
@@ -346,6 +383,8 @@ func (c *Controller) feed(cc *channelCtl, b int, events []core.Event, demandACT 
 // toward a refresh — and therefore must be ticked again next cycle; when
 // it returns false, NextEvent gives the next cycle that needs a Tick and
 // the caller may skip the cycles in between (absent new Pushes).
+//
+//impress:hotpath
 func (c *Controller) Tick(now dram.Tick) bool {
 	// Refresh-window boundary: all victims refreshed, trackers reset.
 	if now >= c.windowEnd {
@@ -416,11 +455,11 @@ func (c *Controller) tickChannel(cc *channelCtl, now dram.Tick) bool {
 		ev := cc.forcedClose[0]
 		bank := &cc.banks[ev.bank]
 		if !bank.openValid || bank.actGen != ev.gen {
-			heap.Pop(&cc.forcedClose) // stale: row already closed
+			cc.forcedClose.pop() // stale: row already closed
 			continue
 		}
 		if cc.ch.CanPrecharge(now, ev.bank) {
-			heap.Pop(&cc.forcedClose)
+			cc.forcedClose.pop()
 			cc.stats.ForcedClosures++
 			c.closeRow(cc, ev.bank, now, bank.mitigOpen)
 			return true
@@ -586,7 +625,7 @@ func (c *Controller) channelNextEvent(cc *channelCtl, now dram.Tick) dram.Tick {
 		ev := cc.forcedClose[0]
 		bank := &cc.banks[ev.bank]
 		if !bank.openValid || bank.actGen != ev.gen {
-			heap.Pop(&cc.forcedClose)
+			cc.forcedClose.pop()
 			continue
 		}
 		if ev.at < h {
@@ -834,8 +873,8 @@ func (c *Controller) issueColumn(cc *channelCtl, req *Request, now dram.Tick, is
 		cc.stats.Reads++
 		cc.stats.ReadLatencySum += uint64(done - req.arrive)
 		cc.readQ = removeReq(cc.readQ, req)
-		if req.OnComplete != nil {
-			req.OnComplete(done)
+		if c.cfg.OnReadComplete != nil {
+			c.cfg.OnReadComplete(req, done)
 		}
 	}
 }
@@ -861,7 +900,7 @@ func (c *Controller) activate(cc *channelCtl, b int, row int64, now dram.Tick, m
 	bank.lastUse = now
 	c.touchIdleDeadline(cc, now)
 	cc.openBanks++
-	heap.Push(&cc.forcedClose, closeEvent{at: now + c.openLimit, bank: b, gen: bank.actGen})
+	cc.forcedClose.push(closeEvent{at: now + c.openLimit, bank: b, gen: bank.actGen})
 	if !mitigative {
 		c.feed(cc, b, bank.policy.OnActivate(now, row), true)
 	}

@@ -25,10 +25,19 @@ func simpleController(design core.Design, factory TrackerFactory, rfmth int) *Co
 	return New(cfg)
 }
 
+// callbackController is simpleController plus a read-completion callback
+// (the controller-level replacement for the old per-request OnComplete).
+func callbackController(design core.Design, factory TrackerFactory, rfmth int, onRead func(*Request, dram.Tick)) *Controller {
+	cfg := DefaultConfig(design, factory, rfmth)
+	cfg.OnReadComplete = onRead
+	return New(cfg)
+}
+
 func TestReadCompletes(t *testing.T) {
-	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
 	var doneAt dram.Tick
-	req := &Request{Addr: 0, Loc: c.Map(0), OnComplete: func(now dram.Tick) { doneAt = now }}
+	c := callbackController(core.NewDesign(core.NoRP), nil, 0,
+		func(_ *Request, now dram.Tick) { doneAt = now })
+	req := &Request{Addr: 0, Loc: c.Map(0)}
 	c.Push(0, req)
 	end := tick(c, 0, 200)
 	if doneAt == 0 {
@@ -46,11 +55,12 @@ func TestReadCompletes(t *testing.T) {
 }
 
 func TestRowHitAfterOpen(t *testing.T) {
-	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
 	done := 0
+	c := callbackController(core.NewDesign(core.NoRP), nil, 0,
+		func(*Request, dram.Tick) { done++ })
 	// Two reads to the same row (consecutive lines in a MOP group).
 	for i := uint64(0); i < 2; i++ {
-		req := &Request{Addr: i * 64, Loc: c.Map(i * 64), OnComplete: func(dram.Tick) { done++ }}
+		req := &Request{Addr: i * 64, Loc: c.Map(i * 64)}
 		c.Push(0, req)
 	}
 	tick(c, 0, 300)
@@ -67,7 +77,9 @@ func TestRowHitAfterOpen(t *testing.T) {
 }
 
 func TestRowConflictCloses(t *testing.T) {
-	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	done := 0
+	c := callbackController(core.NewDesign(core.NoRP), nil, 0,
+		func(*Request, dram.Tick) { done++ })
 	m := DefaultMapper()
 	// Two addresses in the same bank, different rows: same group position
 	// but different row index. Row stride in bytes:
@@ -77,9 +89,8 @@ func TestRowConflictCloses(t *testing.T) {
 	if la, lb := c.Map(a), c.Map(b); la.Bank != lb.Bank || la.Channel != lb.Channel || la.Row == lb.Row {
 		t.Fatalf("test addresses do not conflict: %+v vs %+v", la, lb)
 	}
-	done := 0
-	c.Push(0, &Request{Addr: a, Loc: c.Map(a), OnComplete: func(dram.Tick) { done++ }})
-	c.Push(0, &Request{Addr: b, Loc: c.Map(b), OnComplete: func(dram.Tick) { done++ }})
+	c.Push(0, &Request{Addr: a, Loc: c.Map(a)})
+	c.Push(0, &Request{Addr: b, Loc: c.Map(b)})
 	tick(c, 0, 1000)
 	if done != 2 {
 		t.Fatalf("completed %d, want 2", done)
@@ -115,9 +126,9 @@ func TestRefreshCadence(t *testing.T) {
 
 func TestTMROForcesClosure(t *testing.T) {
 	design := core.NewDesign(core.ExPress).WithTMRO(dram.Ns(96))
-	c := simpleController(design, nil, 0)
 	done := 0
-	c.Push(0, &Request{Addr: 0, Loc: c.Map(0), OnComplete: func(dram.Tick) { done++ }})
+	c := callbackController(design, nil, 0, func(*Request, dram.Tick) { done++ })
+	c.Push(0, &Request{Addr: 0, Loc: c.Map(0)})
 	tick(c, 0, 2000)
 	if done != 1 {
 		t.Fatal("read did not complete")
@@ -131,7 +142,8 @@ func TestNoRPKeepsRowOpenUntilTONMax(t *testing.T) {
 	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
 	tm := dram.DDR5()
 	c.Push(0, &Request{Addr: 0, Loc: c.Map(0)})
-	// Not a write; no OnComplete. Run for less than tONMax: row must stay
+	// Not a write; no completion callback installed. Run for less than
+	// tONMax: row must stay
 	// open (open-page policy, no design limit).
 	loc := c.Map(0)
 	tick(c, 0, int(tm.TONMax/dram.TicksPerDRAMCycle)-200)
@@ -147,21 +159,22 @@ func TestNoRPKeepsRowOpenUntilTONMax(t *testing.T) {
 
 func TestGrapheneMitigationTraffic(t *testing.T) {
 	factory := func(int) trackers.Tracker { return trackers.NewGrapheneRaw(8, 8*128) } // threshold 8 ACTs
-	c := simpleController(core.NewDesign(core.NoRP), factory, 0)
+	done := 0
+	c := callbackController(core.NewDesign(core.NoRP), factory, 0,
+		func(*Request, dram.Tick) { done++ })
 	loc := c.Map(0)
 	m := DefaultMapper()
 	groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
 	rowStride := uint64(m.MOPLines) * 64 * uint64(m.Channels) * uint64(m.BanksPerChannel) * groupsPerRow
 	// Hammer two alternating rows in one bank so every access re-ACTs.
 	now := dram.Tick(0)
-	done := 0
 	for i := 0; i < 40; i++ {
 		addr := uint64(i%2) * rowStride
 		for !c.CanPush(loc, false) {
 			c.Tick(now)
 			now += dram.TicksPerDRAMCycle
 		}
-		c.Push(now, &Request{Addr: addr, Loc: c.Map(addr), OnComplete: func(dram.Tick) { done++ }})
+		c.Push(now, &Request{Addr: addr, Loc: c.Map(addr)})
 		for j := 0; j < 60; j++ {
 			c.Tick(now)
 			now += dram.TicksPerDRAMCycle
@@ -234,7 +247,9 @@ func TestPushPanicsWhenFull(t *testing.T) {
 // channel time on every drain cycle exactly like the no-open-rows path —
 // and then issue the refresh and resume demand service.
 func TestRefreshDrainWithTRASHeldRow(t *testing.T) {
-	c := simpleController(core.NewDesign(core.NoRP), nil, 0)
+	done := 0
+	c := callbackController(core.NewDesign(core.NoRP), nil, 0,
+		func(*Request, dram.Tick) { done++ })
 	ch := c.Channel(0)
 	tm := dram.DDR5()
 	due := ch.NextRefreshDue()
@@ -246,8 +261,7 @@ func TestRefreshDrainWithTRASHeldRow(t *testing.T) {
 	}
 	// Open a row: its ACT lands within tRAS of the refresh due time, so
 	// the drain starts while the precharge is still illegal.
-	done := 0
-	c.Push(now, &Request{Addr: 0, Loc: c.Map(0), OnComplete: func(dram.Tick) { done++ }})
+	c.Push(now, &Request{Addr: 0, Loc: c.Map(0)})
 	loc := c.Map(0)
 	opened := false
 	budget := int((tm.TRAS + tm.TRFC + 2000*dram.TicksPerDRAMCycle) / dram.TicksPerDRAMCycle)

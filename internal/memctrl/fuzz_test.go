@@ -25,8 +25,10 @@ func TestRandomTrafficLiveness(t *testing.T) {
 		t.Run(d.Name(), func(t *testing.T) {
 			rng := stats.NewRand(0xfeed)
 			factory := func(int) trackers.Tracker { return trackers.NewGraphene(400) }
-			c := New(DefaultConfig(d, factory, 80))
 			completed := 0
+			cfg := DefaultConfig(d, factory, 80)
+			cfg.OnReadComplete = func(*Request, dram.Tick) { completed++ }
+			c := New(cfg)
 			pushed := 0
 			now := dram.Tick(0)
 			const total = 2000
@@ -48,8 +50,7 @@ func TestRandomTrafficLiveness(t *testing.T) {
 						c.Push(now, &Request{Addr: addr, Write: true, Loc: loc})
 						completed++ // posted
 					} else {
-						c.Push(now, &Request{Addr: addr, Loc: loc,
-							OnComplete: func(dram.Tick) { completed++ }})
+						c.Push(now, &Request{Addr: addr, Loc: loc})
 					}
 					pushed++
 				}
@@ -79,13 +80,15 @@ func TestConflictStormTimingLegality(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.design.Name(), func(t *testing.T) {
-			c := New(DefaultConfig(tc.design, nil, 0))
+			done := 0
+			cfg := DefaultConfig(tc.design, nil, 0)
+			cfg.OnReadComplete = func(*Request, dram.Tick) { done++ }
+			c := New(cfg)
 			m := DefaultMapper()
 			groupsPerRow := uint64(m.LinesPerRow / m.MOPLines)
 			rowStride := uint64(m.MOPLines) * 64 * uint64(m.Channels) *
 				uint64(m.BanksPerChannel) * groupsPerRow
 			now := dram.Tick(0)
-			done := 0
 			const total = 300
 			pushedCount := 0
 			for done < total && now < dram.Ms(5) {
@@ -95,7 +98,7 @@ func TestConflictStormTimingLegality(t *testing.T) {
 					if !c.CanPush(loc, false) {
 						break
 					}
-					c.Push(now, &Request{Addr: addr, Loc: loc, OnComplete: func(dram.Tick) { done++ }})
+					c.Push(now, &Request{Addr: addr, Loc: loc})
 					pushedCount++
 				}
 				c.Tick(now)

@@ -303,6 +303,18 @@ func (st *Store) GC() (removed int, freed int64, err error) {
 		removed++
 		freed += sizes[i]
 	}
+	// Sweep shard directories the removals emptied (or that earlier
+	// crashes left bare). os.Remove refuses non-empty directories, so
+	// occupied shards pass through untouched.
+	shards, err := os.ReadDir(st.dir)
+	if err != nil {
+		return removed, freed, fmt.Errorf("resultstore: %w", err)
+	}
+	for _, d := range shards {
+		if d.IsDir() {
+			_ = os.Remove(filepath.Join(st.dir, d.Name()))
+		}
+	}
 	return removed, freed, nil
 }
 

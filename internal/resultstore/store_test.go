@@ -442,3 +442,51 @@ func TestGCSparesFreshTempFiles(t *testing.T) {
 		t.Fatal("gc must reclaim an orphaned temp file past the TTL")
 	}
 }
+
+// TestGCSweepsOrphanedTempFiles locks the crash-recovery contract: a
+// dot-prefixed temp file whose writer died (mtime past tempTTL) is
+// removed by GC, and a shard directory left empty by the sweep goes
+// with it, while shards holding valid entries are untouched.
+func TestGCSweepsOrphanedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(mustSpec(t, testConfig(t)), testResult()); err != nil {
+		t.Fatal(err)
+	}
+	deadShard := filepath.Join(dir, "cd")
+	if err := os.MkdirAll(deadShard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(deadShard, ".cdcdcdcd.tmp789")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * tempTTL)
+	if err := os.Chtimes(orphan, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, freed, err := st.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || freed != int64(len("partial")) {
+		t.Fatalf("gc removed %d files / %d bytes, want the one orphan", removed, freed)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("gc must reclaim the orphaned temp file")
+	}
+	if _, err := os.Stat(deadShard); !os.IsNotExist(err) {
+		t.Fatal("gc must sweep the shard directory it emptied")
+	}
+	entries, err := st.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("gc must keep the valid entry, have %d", len(entries))
+	}
+}

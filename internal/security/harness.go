@@ -92,7 +92,7 @@ func (r Result) String() string {
 // otherwise: an invalid defense design or a missing tracker factory.
 func (cfg Config) Validate() error {
 	if err := cfg.Design.Validate(); err != nil {
-		return fmt.Errorf("security: %w: %v", errs.ErrBadSpec, err)
+		return fmt.Errorf("security: %w: %w", errs.ErrBadSpec, err)
 	}
 	if cfg.Tracker == nil {
 		return fmt.Errorf("security: %w: missing tracker factory", errs.ErrBadSpec)

@@ -128,7 +128,7 @@ func (cfg Config) Validate() error {
 			errs.ErrBadSpec, cfg.WarmupInstructions, cfg.RunInstructions)
 	}
 	if err := cfg.Design.Validate(); err != nil {
-		return fmt.Errorf("sim: %w: %v", errs.ErrBadSpec, err)
+		return fmt.Errorf("sim: %w: %w", errs.ErrBadSpec, err)
 	}
 	return nil
 }
@@ -216,11 +216,11 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.TraceFile != "" {
 		t, err := trace.ReadFile(cfg.TraceFile)
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: %w: %v", errs.ErrBadSpec, err)
+			return Result{}, fmt.Errorf("sim: %w: %w", errs.ErrBadSpec, err)
 		}
 		w, err := t.Workload()
 		if err != nil {
-			return Result{}, fmt.Errorf("sim: %w: %v", errs.ErrBadSpec, err)
+			return Result{}, fmt.Errorf("sim: %w: %w", errs.ErrBadSpec, err)
 		}
 		cfg.Workload = w
 		cfg.Cores = len(t.PerCore)
@@ -305,7 +305,9 @@ func newSimulator(cfg Config) *simulator {
 	}
 	rng := stats.NewRand(cfg.Seed)
 	factory := trackerFactory(cfg, rng)
-	s.mc = memctrl.New(memctrl.DefaultConfig(cfg.Design, factory, cfg.RFMTH))
+	mcCfg := memctrl.DefaultConfig(cfg.Design, factory, cfg.RFMTH)
+	mcCfg.OnReadComplete = s.readComplete
+	s.mc = memctrl.New(mcCfg)
 	coreCfg := cfg.CPU
 	coreCfg.NoFastPath = cfg.Clock == ClockCycleAccurate
 	for i := 0; i < cfg.Cores; i++ {
@@ -367,7 +369,11 @@ func (s *simulator) CanAccept(addr uint64, write, uncached bool) bool {
 	return s.mc.CanPush(loc, false) // misses fetch the line (write-allocate)
 }
 
-// Access implements cpu.MemorySystem.
+// Access implements cpu.MemorySystem. Cores reach it through the
+// interface, which the hotpath callee walk cannot follow — hence its
+// own annotation.
+//
+//impress:hotpath
 func (s *simulator) Access(op *cpu.MemOp) {
 	if !op.Uncached && s.llc.Access(op.Addr, op.Write) {
 		if op.Write {
@@ -397,18 +403,24 @@ func (s *simulator) Access(op *cpu.MemOp) {
 	s.mshrs[line] = m
 	s.memVersion++ // a new MSHR can unblock merges
 	addr := lineAddr(line)
-	req := &memctrl.Request{
-		Addr: addr,
-		Loc:  s.mc.Map(addr),
-		OnComplete: func(dram.Tick) {
-			s.fill(m)
-		},
-	}
+	req := &memctrl.Request{Addr: addr, Loc: s.mc.Map(addr)}
 	s.mc.Push(s.now, req)
 	s.mcBusy = true
 }
 
 func lineAddr(line uint64) uint64 { return line * trace.LineSize }
+
+// readComplete is the controller's read-completion callback: it resolves
+// the finished request back to its MSHR by line address. A single
+// method value installed once at construction replaces a per-miss
+// closure, which would allocate on the hot path (DESIGN.md §10).
+//
+//impress:hotpath
+func (s *simulator) readComplete(req *memctrl.Request, _ dram.Tick) {
+	if m, ok := s.mshrs[req.Addr/trace.LineSize]; ok {
+		s.fill(m)
+	}
+}
 
 func (s *simulator) fill(m *mshr) {
 	delete(s.mshrs, m.line)
@@ -521,6 +533,8 @@ func (s *simulator) step() {
 // positive, is the caller's loop-exit retirement threshold: the skip
 // stops before any core could reach it, so the caller observes the exact
 // boundary cycle-accurate stepping would.
+//
+//impress:hotpath
 func (s *simulator) advance(retireTarget int64) {
 	var k int64
 	if s.cfg.Clock != ClockCycleAccurate {
@@ -640,7 +654,11 @@ func (s *simulator) applySkip(k int64) {
 // assertLockstep compares the event-driven simulator against its
 // cycle-accurate shadow after both advanced through the same macro
 // cycles; any mismatch is a clocking bug, reported with enough state to
-// localize it.
+// localize it. It runs only under ClockLockstep, at most once per
+// divergence, on a path that ends in a panic — diagnostic machinery,
+// not simulation.
+//
+//impress:coldpath
 func (s *simulator) assertLockstep(skipped int64) {
 	fail := func(what string, ev, ca any) {
 		panic(fmt.Sprintf(

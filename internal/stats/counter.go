@@ -39,10 +39,12 @@ func (c *CounterSet) Names() []string {
 	return names
 }
 
-// Merge adds every counter from other into c.
+// Merge adds every counter from other into c, in sorted name order so
+// the first-touch ordering of c's underlying map never depends on
+// other's iteration order.
 func (c *CounterSet) Merge(other *CounterSet) {
-	for n, v := range other.counts {
-		c.Add(n, v)
+	for _, n := range other.Names() {
+		c.Add(n, other.counts[n])
 	}
 }
 

@@ -218,7 +218,7 @@ func (l *Lab) Run(ctx context.Context, cfg SimConfig) (SimResult, error) {
 	if l.store != nil {
 		var err error
 		if sp, err = resultstore.SpecFor(cfg); err != nil {
-			return SimResult{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+			return SimResult{}, fmt.Errorf("%w: %w", ErrBadSpec, err)
 		}
 		label = sp.Workload
 		if label == "" {
