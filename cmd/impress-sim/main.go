@@ -86,17 +86,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	var replayed *trace.Trace
+	var replayed *trace.Reader
 	if *traceFile != "" {
 		if replayed, err = simFlags.ApplyTrace(&cfg, fs, *traceFile); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
+		defer replayed.Close()
 	}
 
 	var store *resultstore.Store
 	if replayed != nil {
-		store, err = simFlags.StoreForReplay(replayed, cfg, stderr)
+		store, err = simFlags.StoreForReplay(replayed.Header(), cfg, stderr)
 	} else {
 		store, err = simFlags.OpenStore()
 	}

@@ -9,6 +9,7 @@
 //	impress-trace [characterize] [-n 100000] [-workload copy]
 //	impress-trace record -workload mcf -o mcf.trace [-cores 8] [-n 250000] [-seed 1]
 //	impress-trace record -workload mix:mcf,gcc,copy,attack:hammer -o corun.trace
+//	impress-trace import -format dramsim -o cap.trace capture.log
 //	impress-trace info [-sample 100000] mcf.trace
 //	impress-trace replay [-tracker graphene] [-design impress-p] [-clock event] mcf.trace
 //
@@ -24,10 +25,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"impress/internal/simcli"
 	"impress/internal/trace"
+	traceimport "impress/internal/trace/import"
 )
 
 func main() {
@@ -50,6 +53,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runCharacterize(args, stdout, stderr)
 	case "record":
 		return runRecord(ctx, args, stdout, stderr)
+	case "import":
+		return runImport(ctx, args, stdout, stderr)
 	case "info":
 		return runInfo(args, stdout, stderr)
 	case "replay":
@@ -70,6 +75,7 @@ func usage(w io.Writer) {
 subcommands:
   characterize  measure intensity/locality of workload generators (default)
   record        record a workload's per-core request streams to a trace file
+  import        convert an external capture (dramsim, ramulator, gem5) to a trace file
   info          print a trace file's header and characterization
   replay        run a full simulation driven by a recorded trace file
   help          print this help
@@ -160,8 +166,9 @@ func runRecord(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	t, err := lab.Record(ctx, w, *cores, *n, *seed)
-	if err != nil {
+	// RecordFile streams frames to disk as they fill, so recording a
+	// multi-hundred-GB trace needs only the per-core frame buffers.
+	if err := lab.RecordFile(ctx, w, *cores, *n, *seed, *out); err != nil {
 		if simcli.ReportInterrupted(stderr, err, "") {
 			return 1
 		}
@@ -171,17 +178,76 @@ func runRecord(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		}
 		return 1
 	}
-	if err := t.WriteFile(*out); err != nil {
-		fmt.Fprintln(stderr, err)
-		return 1
-	}
 	st, err := os.Stat(*out)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
 	fmt.Fprintf(stdout, "recorded %s: %d cores x %d requests, %d bytes -> %s\n",
-		t.Name, len(t.PerCore), *n, st.Size(), *out)
+		w.Name, *cores, *n, st.Size(), *out)
+	return 0
+}
+
+func runImport(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := newFlagSet("impress-trace import", stderr)
+	format := fs.String("format", "", "input format: "+strings.Join(traceimport.Formats(), ", ")+" (required)")
+	out := fs.String("o", "", "output trace file (required)")
+	label := fs.String("name", "", "label stored in the trace header (default: the input file name)")
+	seed := fs.Uint64("seed", 1, "seed recorded in the header (imported replays always use it)")
+	compress := fs.Bool("compress", false, "deflate-compress the trace frames")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format == "" || *out == "" {
+		fmt.Fprintln(stderr, "impress-trace import: -format and -o are required")
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "impress-trace import: exactly one input file expected")
+		return 2
+	}
+	in, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	defer in.Close()
+	name := *label
+	if name == "" {
+		name = filepath.Base(fs.Arg(0))
+	}
+	dst, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	st, err := traceimport.Convert(ctx, *format, in, dst, traceimport.Options{
+		Name: name, Seed: *seed, Compress: *compress,
+	})
+	if err != nil {
+		dst.Close()
+		os.Remove(*out)
+		if simcli.ReportInterrupted(stderr, err, "") {
+			return 1
+		}
+		fmt.Fprintln(stderr, err)
+		if simcli.UsageError(err) {
+			return 2
+		}
+		return 1
+	}
+	if err := dst.Close(); err != nil {
+		os.Remove(*out)
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fst, err := os.Stat(*out)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "imported %s:%s: %d requests from %d lines, %d bytes -> %s\n",
+		*format, name, st.Requests, st.Lines, fst.Size(), *out)
 	return 0
 }
 
@@ -199,31 +265,37 @@ func runInfo(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "impress-trace info: exactly one trace file expected")
 		return 2
 	}
-	t, err := trace.ReadFile(fs.Arg(0))
+	// The header and per-core counts come from the file's header and
+	// frame index alone; only the characterization sample below streams
+	// any request data, one frame at a time.
+	r, err := trace.OpenReader(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "name:      %s\n", t.Name)
-	fmt.Fprintf(stdout, "class:     %s\n", class(trace.Workload{Stream: t.Stream}))
-	fmt.Fprintf(stdout, "seed:      %d\n", t.Seed)
-	fmt.Fprintf(stdout, "line size: %d B\n", t.LineSize)
-	fmt.Fprintf(stdout, "cores:     %d\n", len(t.PerCore))
-	fmt.Fprintf(stdout, "requests:  %d total\n", t.Requests())
-	w, err := t.Workload()
+	defer r.Close()
+	h := r.Header()
+	fmt.Fprintf(stdout, "name:      %s\n", h.Name)
+	fmt.Fprintf(stdout, "class:     %s\n", class(trace.Workload{Stream: h.Stream}))
+	fmt.Fprintf(stdout, "seed:      %d\n", h.Seed)
+	fmt.Fprintf(stdout, "line size: %d B\n", h.LineSize)
+	fmt.Fprintf(stdout, "cores:     %d\n", h.Cores)
+	fmt.Fprintf(stdout, "requests:  %d total\n", r.Requests())
+	w, err := r.Workload()
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
-	for coreID, reqs := range t.PerCore {
-		n := min(*sample, len(reqs))
-		if n == 0 {
+	for coreID := 0; coreID < h.Cores; coreID++ {
+		total := r.CoreRequests(coreID)
+		if total == 0 {
 			fmt.Fprintf(stdout, "core %d: empty\n", coreID)
 			continue
 		}
-		c := trace.Characterize(w.NewGenerator(coreID, t.Seed), n)
+		n := min(int64(*sample), total)
+		c := trace.Characterize(w.NewGenerator(coreID, h.Seed), int(n))
 		fmt.Fprintf(stdout, "core %d: %d requests, %.1f acc/KI, %.0f%% writes, %.0f%% sequential, %d MB footprint\n",
-			coreID, len(reqs), c.AccessesPerKI, 100*c.WriteFraction, 100*c.SeqFraction,
+			coreID, total, c.AccessesPerKI, 100*c.WriteFraction, 100*c.SeqFraction,
 			c.FootprintBytes>>20)
 	}
 	return 0
@@ -249,8 +321,9 @@ func runReplay(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	defer t.Close()
 
-	store, err := simFlags.StoreForReplay(t, cfg, stderr)
+	store, err := simFlags.StoreForReplay(t.Header(), cfg, stderr)
 	if err != nil {
 		fmt.Fprintf(stderr, "impress-trace replay: %v\n", err)
 		return 2
@@ -282,7 +355,8 @@ func runReplay(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		return 1
 	}
 	simcli.ReportCacheOutcome(stderr, store, counts.CacheHits > 0)
-	fmt.Fprintf(stdout, "trace:           %s (%d cores, seed %d)\n", t.Name, len(t.PerCore), t.Seed)
+	h := t.Header()
+	fmt.Fprintf(stdout, "trace:           %s (%d cores, seed %d)\n", h.Name, h.Cores, h.Seed)
 	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)
 	return 0
 }

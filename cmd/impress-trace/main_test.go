@@ -288,3 +288,100 @@ func TestReplayCacheSeedSemantics(t *testing.T) {
 		t.Fatal("matching-seed replay output differs")
 	}
 }
+
+// TestImportReplayEndToEnd drives a DRAMsim-style capture through
+// import, info and replay: the imported file must carry the
+// "import:..." name, report its request count from the index, replay
+// through the full simulator, and — because imported names resolve to
+// no generator — be cached by file content, with cache hits surviving
+// any -seed flag (imported replays always run at the recorded seed).
+func TestImportReplayEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "capture.log")
+	var log strings.Builder
+	log.WriteString("# synthetic dramsim capture\n")
+	for i := 0; i < 40_000; i++ {
+		op := "READ"
+		if i%7 == 0 {
+			op = "WRITE"
+		}
+		fmt.Fprintf(&log, "%#x %s %d\n", uint64(i%512)*64, op, i*3)
+	}
+	if err := os.WriteFile(logPath, []byte(log.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join(dir, "capture.trace")
+	code, stdout, stderr := cli(t, "import", "-format", "dramsim", "-o", tracePath, logPath)
+	if code != 0 {
+		t.Fatalf("import failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "imported dramsim:capture.log: 40000 requests") {
+		t.Fatalf("import summary missing: %q", stdout)
+	}
+
+	code, stdout, stderr = cli(t, "info", tracePath)
+	if code != 0 {
+		t.Fatalf("info failed (%d): %s", code, stderr)
+	}
+	for _, want := range []string{"name:      import:dramsim:capture.log", "cores:     1", "requests:  40000 total"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("info output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	cache := filepath.Join(dir, "store")
+	base := []string{"replay", "-warmup", "1000", "-instructions", "5000", "-cache-dir", cache}
+	code, cold, stderr := cli(t, append(base, tracePath)...)
+	if code != 0 {
+		t.Fatalf("imported replay failed (%d): %s", code, stderr)
+	}
+	if !strings.Contains(cold, "trace:           import:dramsim:capture.log (1 cores, seed 1)") {
+		t.Fatalf("replay header missing the imported trace line:\n%s", cold)
+	}
+
+	// Content-keyed caching: warm hit, identical output, and no seed
+	// bypass even with an explicit -seed (the recorded seed governs).
+	for _, args := range [][]string{
+		append(base, tracePath),
+		append(append([]string{}, base...), "-seed", "99", tracePath),
+	} {
+		code, warm, stderr := cli(t, args...)
+		if code != 0 || !strings.Contains(stderr, "served from cache") {
+			t.Fatalf("imported replay %v should hit the store (%d): %s", args, code, stderr)
+		}
+		if strings.Contains(stderr, "cache bypassed") {
+			t.Fatalf("imported replay must never bypass by seed: %s", stderr)
+		}
+		if warm != cold {
+			t.Fatal("cached imported replay output differs from the cold run")
+		}
+	}
+}
+
+// TestImportRejectsBadInputCLI pins the import subcommand's usage
+// errors: unknown formats and unparseable lines exit 2 with a
+// diagnostic and leave no partial output file behind.
+func TestImportRejectsBadInputCLI(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "bad.log")
+	if err := os.WriteFile(logPath, []byte("not a capture\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"import", "-o", filepath.Join(dir, "x.trace"), logPath},
+		{"import", "-format", "nonesuch", "-o", filepath.Join(dir, "x.trace"), logPath},
+		{"import", "-format", "dramsim", "-o", filepath.Join(dir, "x.trace"), logPath},
+	} {
+		code, _, stderr := cli(t, args...)
+		if code != 2 {
+			t.Errorf("%v: exit %d, want 2 (%s)", args, code, stderr)
+		}
+		if stderr == "" {
+			t.Errorf("%v: no diagnostic on stderr", args)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "x.trace")); !os.IsNotExist(err) {
+			t.Errorf("%v: partial output file left behind", args)
+		}
+	}
+}

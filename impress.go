@@ -353,6 +353,22 @@ func DecodeTrace(r io.Reader) (*WorkloadTrace, error) { return trace.Decode(r) }
 // ReadTraceFile loads a recorded trace file.
 func ReadTraceFile(path string) (*WorkloadTrace, error) { return trace.ReadFile(path) }
 
+// TraceHeader is a trace file's self-describing header: name, class,
+// seed, line size and core count.
+type TraceHeader = trace.Header
+
+// TraceReader streams a recorded trace from disk: opening one reads
+// only the header and frame index, and the Workload it returns replays
+// with a fixed per-core frame buffer instead of materializing the
+// streams — the way to replay traces larger than RAM. See
+// Lab.RecordFile for the recording side.
+type TraceReader = trace.Reader
+
+// OpenTraceReader opens the trace file at path for streaming replay.
+// The caller must keep the reader open while any simulation replaying
+// it runs, and close it afterwards.
+func OpenTraceReader(path string) (*TraceReader, error) { return trace.OpenReader(path) }
+
 // DefaultSimConfig returns the Table II system for a workload/defense.
 func DefaultSimConfig(w Workload, d Design, tracker TrackerKind) SimConfig {
 	return sim.DefaultConfig(w, d, tracker)

@@ -57,7 +57,7 @@ var legacyNoCtx = []string{
 	"NewMINT", "MINTToleratedTRH", "NewPRAC",
 	"StorageComparison", "MINTStorageBytes",
 	"Workloads", "WorkloadByName", "MixWorkloads",
-	"DecodeTrace", "ReadTraceFile", "DefaultSimConfig",
+	"DecodeTrace", "ReadTraceFile", "OpenTraceReader", "DefaultSimConfig",
 	"OpenResultStore", "ResultSpecFor",
 	"ExperimentTRH", "ExperimentRFM", "NewExperimentRunner",
 	"QuickScale", "StandardScale", "FullScale",

@@ -1,0 +1,67 @@
+package suite
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"impress/internal/analysis/hotpath"
+)
+
+// TestReplayGeneratorsAreHotRoots pins the replay generators as
+// hot-path roots: both trace.Generator implementations feeding
+// cpu.Core.Step — the materialized replayGen and the streaming
+// streamGen — must carry the hotpath directive, so impress-lint walks
+// their Next (and everything it reaches, the frame decode included)
+// with the hot-loop rules. Deleting the annotation would silently drop
+// the whole streaming replay path from the lint suite.
+func TestReplayGeneratorsAreHotRoots(t *testing.T) {
+	for _, tc := range []struct{ file, recv string }{
+		{"replay.go", "replayGen"},
+		{"reader.go", "streamGen"},
+	} {
+		path := filepath.Join("..", "..", "trace", tc.file)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		found := false
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Next" || fn.Recv == nil || fn.Doc == nil {
+				continue
+			}
+			if recvNames(fn) != tc.recv {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if strings.TrimSpace(c.Text) == hotpath.HotDirective {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: (%s).Next lost its %s directive; the replay hot loop would go unlinted",
+				tc.file, tc.recv, hotpath.HotDirective)
+		}
+	}
+}
+
+// recvNames returns the bare receiver type name of a method.
+func recvNames(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	expr := fn.Recv.List[0].Type
+	if star, ok := expr.(*ast.StarExpr); ok {
+		expr = star.X
+	}
+	if ident, ok := expr.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}

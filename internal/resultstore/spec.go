@@ -26,6 +26,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"impress/internal/cache"
@@ -113,12 +114,20 @@ func SpecFor(cfg sim.Config) (Spec, error) {
 	}
 	s.CPU.NoFastPath = false
 	if cfg.TraceFile != "" {
-		data, err := os.ReadFile(cfg.TraceFile)
+		// Hash by streaming: trace files can exceed RAM (the whole replay
+		// pipeline is built not to materialize them), and the key
+		// derivation must not either.
+		f, err := os.Open(cfg.TraceFile)
 		if err != nil {
 			return Spec{}, fmt.Errorf("resultstore: hashing trace file: %w", err)
 		}
-		sum := sha256.Sum256(data)
-		s.TraceSHA256 = hex.EncodeToString(sum[:])
+		h := sha256.New()
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return Spec{}, fmt.Errorf("resultstore: hashing trace file: %w", err)
+		}
+		s.TraceSHA256 = hex.EncodeToString(h.Sum(nil))
 		// The file overrides these three in sim.Run; the content hash
 		// stands in for all of them.
 		s.Workload, s.Cores, s.Seed = "", 0, 0

@@ -184,3 +184,34 @@ func TestMixedAttackScenarioRuns(t *testing.T) {
 		t.Errorf("victim cores not degraded by the aggressor: IPC sum %v (attacked) vs %v (benign)", va, vb)
 	}
 }
+
+// TestTraceFileAllClockModes pins the streaming half of the replay
+// contract in every clock mode: a file recorded with the streaming
+// writer and replayed through Config.TraceFile — header + frame index
+// at open, frames pulled from disk as the run consumes them — is
+// bit-identical to the live-generator run under the event-driven,
+// cycle-accurate and lockstep clocks alike.
+func TestTraceFileAllClockModes(t *testing.T) {
+	w, err := trace.WorkloadByName("mix:mcf,copy,attack:hammer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "mix.trace")
+	if err := trace.RecordFile(t.Context(), w, 4, replayRecordBudget, 1, path); err != nil {
+		t.Fatal(err)
+	}
+	for _, clock := range []ClockMode{ClockEventDriven, ClockCycleAccurate, ClockLockstep} {
+		liveCfg := replayConfig(w, clock)
+		liveCfg.Cores = 4
+		live := Run(liveCfg)
+
+		cfg := replayConfig(trace.Workload{}, clock)
+		cfg.TraceFile = path
+		cfg.Cores = 0 // the trace's recorded core count takes over
+		replayed := Run(cfg)
+		if !reflect.DeepEqual(live, replayed) {
+			t.Fatalf("clock %d: streaming TraceFile replay diverged from live run:\nlive   %+v\nreplay %+v",
+				clock, live, replayed)
+		}
+	}
+}

@@ -214,17 +214,21 @@ func Run(cfg Config) Result {
 // concurrency contract as Run.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.TraceFile != "" {
-		t, err := trace.ReadFile(cfg.TraceFile)
+		// The streaming reader loads only the header and frame index here;
+		// the replay generators pull frames from the file as the run
+		// consumes them, so replay memory does not scale with trace size.
+		r, err := trace.OpenReader(cfg.TraceFile)
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: %w: %w", errs.ErrBadSpec, err)
 		}
-		w, err := t.Workload()
+		defer r.Close()
+		w, err := r.Workload()
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: %w: %w", errs.ErrBadSpec, err)
 		}
 		cfg.Workload = w
-		cfg.Cores = len(t.PerCore)
-		cfg.Seed = t.Seed
+		cfg.Cores = r.Header().Cores
+		cfg.Seed = r.Header().Seed
 	}
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err

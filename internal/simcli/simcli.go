@@ -108,64 +108,85 @@ func (f *Flags) Config(w trace.Workload) (sim.Config, core.Design, error) {
 }
 
 // ReplayCacheable reports whether a replayed run may go through the
-// result store. Replays are keyed as the live run of the recorded
-// workload — valid precisely because the replay-equivalence contract
-// makes the two bit-identical — but the contract holds only at the
-// trace's recorded seed: the replay generator always reproduces the
-// recorded stream, while a live generator's stream depends on the seed.
-// A replay whose -seed override departs from the recording therefore
-// must bypass the cache, or it would poison the live run's entry at
-// that seed (and could be served a wrong result from it).
+// result store. Replays of recorded workloads are keyed as the live run
+// of the recorded workload — valid precisely because the
+// replay-equivalence contract makes the two bit-identical — but the
+// contract holds only at the trace's recorded seed: the replay
+// generator always reproduces the recorded stream, while a live
+// generator's stream depends on the seed. A replay whose -seed override
+// departs from the recording therefore must bypass the cache, or it
+// would poison the live run's entry at that seed (and could be served a
+// wrong result from it).
 //
-// The keying also trusts the header: a recording whose streams were not
-// produced by the named workload at the recorded seed (a hand-edited
-// file) breaks the contract undetectably, exactly like a hand-built
-// Workload with a misleading Name (DESIGN.md §8). Do not replay
-// untrusted trace files through a shared store.
-func ReplayCacheable(t *trace.Trace, cfg sim.Config) bool {
-	return cfg.Seed == t.Seed
+// Imported traces ("import:..." names) are always cacheable: their name
+// is not WorkloadByName-resolvable, so ApplyTrace keys them by file
+// content (sim.Config.TraceFile), and a TraceFile run always adopts the
+// recorded seed — the content hash subsumes the whole recording.
+//
+// The name keying also trusts the header: a recording whose streams
+// were not produced by the named workload at the recorded seed (a
+// hand-edited file) breaks the contract undetectably, exactly like a
+// hand-built Workload with a misleading Name (DESIGN.md §8). Do not
+// replay untrusted trace files through a shared store.
+func ReplayCacheable(h trace.Header, cfg sim.Config) bool {
+	return trace.Imported(h.Name) || cfg.Seed == h.Seed
 }
 
 // StoreForReplay opens the flags' result store for a trace replay,
 // applying the ReplayCacheable rule: when the replay's seed departs
 // from the recording's, a one-line bypass notice goes to stderr and the
 // returned store is nil (caching disabled for this run).
-func (f *Flags) StoreForReplay(t *trace.Trace, cfg sim.Config, stderr io.Writer) (*resultstore.Store, error) {
+func (f *Flags) StoreForReplay(h trace.Header, cfg sim.Config, stderr io.Writer) (*resultstore.Store, error) {
 	store, err := f.OpenStore()
 	if err != nil || store == nil {
 		return nil, err
 	}
-	if !ReplayCacheable(t, cfg) {
+	if !ReplayCacheable(h, cfg) {
 		fmt.Fprintf(stderr, "[cache bypassed: -seed %d differs from the recorded seed %d]\n",
-			cfg.Seed, t.Seed)
+			cfg.Seed, h.Seed)
 		return nil, nil
 	}
 	return store, nil
 }
 
-// ApplyTrace loads the recorded trace at path into cfg: the replay
-// workload, the trace's core count, and — unless the caller's -seed flag
-// was set explicitly — the trace's recorded seed, so replays keep
-// randomized trackers on the live run's RNG chain by default (the
-// replay-equivalence contract). The decoded trace is returned for
-// reporting.
-func (f *Flags) ApplyTrace(cfg *sim.Config, fs *flag.FlagSet, path string) (*trace.Trace, error) {
-	t, err := trace.ReadFile(path)
+// ApplyTrace opens the recorded trace at path — header and frame index
+// only; requests stream from disk during the run — and loads it into
+// cfg: the replay workload, the trace's core count, and — unless the
+// caller's -seed flag was set explicitly — the trace's recorded seed,
+// so replays keep randomized trackers on the live run's RNG chain by
+// default (the replay-equivalence contract).
+//
+// An imported trace (an "import:..." name, produced by impress-trace
+// import) is instead wired through cfg.TraceFile so the result store
+// keys it by file content — the name cannot stand in for the streams —
+// and the run always adopts the recorded seed.
+//
+// The returned Reader backs the run's generators: the caller must keep
+// it open until the run finishes and close it afterwards.
+func (f *Flags) ApplyTrace(cfg *sim.Config, fs *flag.FlagSet, path string) (*trace.Reader, error) {
+	r, err := trace.OpenReader(path)
 	if err != nil {
 		return nil, err
 	}
-	w, err := t.Workload()
+	h := r.Header()
+	if trace.Imported(h.Name) {
+		cfg.TraceFile = path
+		cfg.Seed = h.Seed
+		return r, nil
+	}
+	w, err := r.Workload()
 	if err != nil {
+		r.Close()
 		return nil, err
 	}
 	cfg.Workload = w
-	cfg.Cores = len(t.PerCore)
+	cfg.Cores = h.Cores
 	seedSet := false
 	fs.Visit(func(fl *flag.Flag) { seedSet = seedSet || fl.Name == "seed" })
 	if !seedSet {
-		cfg.Seed = t.Seed
+		cfg.Seed = h.Seed
 	}
-	return t, nil
+	return r, nil
 }
 
 // SignalContext returns a context cancelled by SIGINT/SIGTERM — the

@@ -1,7 +1,8 @@
 package trace
 
 import (
-	"bufio"
+	"bytes"
+	"compress/flate"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -11,27 +12,30 @@ import (
 	"impress/internal/errs"
 )
 
-// This file implements the portable binary trace format (version 1) and
-// the Record half of the record/replay pipeline. The format is
-// self-describing and compact — see DESIGN.md §7 for the byte-level
-// specification and the replay-equivalence contract:
+// This file implements the materializing half of the trace codec — the
+// in-memory Trace plus Encode/Decode over whole files — and the Record
+// half of the record/replay pipeline. The on-disk container is the
+// framed version-2 format (format.go; DESIGN.md §7 has the byte-level
+// specification), and Decode also reads legacy version-1 files:
 //
-//	magic "IMPTRC" | uvarint version (1) | uvarint len + name bytes
-//	| uvarint flags (bit0 = STREAM class) | uvarint seed
-//	| uvarint line size | uvarint core count
-//	| per core: uvarint request count, then per request:
-//	|   zigzag-uvarint line delta (line = Addr / line size, vs. the
-//	|     previous request of the SAME core; first delta is vs. line 0)
-//	|   uvarint meta = gap<<2 | uncached<<1 | write
+//	v1: header | per core: uvarint request count, then per request the
+//	    zigzag-uvarint line delta (vs. the previous request of the SAME
+//	    core; first delta vs. line 0) and uvarint meta
+//	    = gap<<2 | uncached<<1 | write.
+//	v2: header | framed sections | index | trailer, with the identical
+//	    per-request encoding inside each frame (deltas frame-local).
 //
 // Per-core delta encoding exploits the spatial locality the generators
 // are built around: sequential runs encode as two bytes per request.
+// For files too large to materialize, use Writer/Reader (writer.go,
+// reader.go) — same format, fixed memory.
 
 // traceMagic opens every trace file.
 const traceMagic = "IMPTRC"
 
-// TraceVersion is the format version this package reads and writes.
-const TraceVersion = 1
+// TraceVersion is the format version this package writes. Decode and
+// Reader also accept version 1.
+const TraceVersion = 2
 
 // Decode hard limits: headers claiming more are rejected as corrupt
 // rather than trusted with allocations. Request counts need no explicit
@@ -97,6 +101,8 @@ func Record(w Workload, cores, perCore int, seed uint64) *Trace {
 // cancellation: ctx is checked between per-core drains and every few
 // thousand requests, so recording a multi-million-request trace stops
 // promptly when the context ends (errs.ErrCancelled wrapping ctx.Err()).
+// To record straight to disk without materializing, use RecordTo or
+// RecordFile.
 func RecordContext(ctx context.Context, w Workload, cores, perCore int, seed uint64) (*Trace, error) {
 	if w.NewGenerator == nil {
 		return nil, fmt.Errorf("%w: workload %q has no generator", errs.ErrBadSpec, w.Name)
@@ -137,162 +143,88 @@ func zigzag(d int64) uint64 { return uint64(d<<1) ^ uint64(d>>63) }
 // unzigzag inverts zigzag.
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
-// Encode writes the trace in the version-1 binary format.
+// Encode writes the trace in the version-2 binary format by streaming
+// it through a Writer (default frame size, uncompressed).
 func (t *Trace) Encode(w io.Writer) error {
-	switch {
-	case len(t.Name) > maxTraceName:
-		return fmt.Errorf("trace: name longer than %d bytes", maxTraceName)
-	case t.LineSize <= 0 || t.LineSize > maxTraceLineSize:
-		return fmt.Errorf("trace: bad line size %d", t.LineSize)
-	case len(t.PerCore) == 0 || len(t.PerCore) > maxTraceCores:
-		return fmt.Errorf("trace: core count %d outside [1, %d]", len(t.PerCore), maxTraceCores)
+	tw, err := NewWriter(w, Header{
+		Name: t.Name, Stream: t.Stream, Seed: t.Seed, LineSize: t.LineSize, Cores: len(t.PerCore),
+	}, nil)
+	if err != nil {
+		return err
 	}
-	bw := bufio.NewWriter(w)
-	var scratch [binary.MaxVarintLen64]byte
-	put := func(v uint64) {
-		n := binary.PutUvarint(scratch[:], v)
-		bw.Write(scratch[:n])
-	}
-	bw.WriteString(traceMagic)
-	put(TraceVersion)
-	put(uint64(len(t.Name)))
-	bw.WriteString(t.Name)
-	var flags uint64
-	if t.Stream {
-		flags |= 1
-	}
-	put(flags)
-	put(t.Seed)
-	put(uint64(t.LineSize))
-	put(uint64(len(t.PerCore)))
 	for c, reqs := range t.PerCore {
-		put(uint64(len(reqs)))
-		prevLine := uint64(0)
-		for i, req := range reqs {
-			if req.Addr%uint64(t.LineSize) != 0 {
-				return fmt.Errorf("trace: core %d request %d: address %#x not %d-byte aligned",
-					c, i, req.Addr, t.LineSize)
+		for _, req := range reqs {
+			if err := tw.Append(c, req); err != nil {
+				return err
 			}
-			line := req.Addr / uint64(t.LineSize)
-			// Mirror Decode's bound exactly (including the 2^63 address
-			// clamp), so everything Encode writes is readable back.
-			if line >= maxTraceLine || line > uint64(1<<63-1)/uint64(t.LineSize) {
-				return fmt.Errorf("trace: core %d request %d: line %#x out of range", c, i, line)
-			}
-			if req.Gap < 0 || int64(req.Gap) > maxTraceGap {
-				return fmt.Errorf("trace: core %d request %d: gap %d out of range", c, i, req.Gap)
-			}
-			put(zigzag(int64(line) - int64(prevLine)))
-			meta := uint64(req.Gap) << 2
-			if req.Uncached {
-				meta |= 2
-			}
-			if req.Write {
-				meta |= 1
-			}
-			put(meta)
-			prevLine = line
 		}
 	}
-	return bw.Flush()
+	return tw.Close()
 }
 
-// Decode reads a version-1 trace. It never panics on corrupt or truncated
-// input: every structural violation — bad magic, unknown version or flag
-// bits, out-of-range header fields, truncated streams, trailing garbage —
-// returns an error, and allocation is bounded by the input size.
+// Decode reads a whole trace — version 1 or 2 — into memory. It never
+// panics on corrupt or truncated input: every structural violation —
+// bad magic, unknown version or flag bits, out-of-range header fields,
+// truncated streams, an index that contradicts the frames, trailing
+// garbage — returns an error, and allocation is bounded by the input
+// size. For files too large to materialize, use Reader.
 func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(traceMagic))
-	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != traceMagic {
-		return nil, fmt.Errorf("trace: not a trace file (bad magic)")
-	}
-	get := func(what string, max uint64) (uint64, error) {
-		v, err := binary.ReadUvarint(br)
-		if err != nil {
-			return 0, fmt.Errorf("trace: truncated %s", what)
-		}
-		if v > max {
-			return 0, fmt.Errorf("trace: %s %d out of range (max %d)", what, v, max)
-		}
-		return v, nil
-	}
-	version, err := get("version", 1<<20)
+	d := newDecodeState(r)
+	h, version, err := d.header()
 	if err != nil {
 		return nil, err
-	}
-	if version != TraceVersion {
-		return nil, fmt.Errorf("trace: unsupported format version %d (want %d)", version, TraceVersion)
-	}
-	nameLen, err := get("name length", maxTraceName)
-	if err != nil {
-		return nil, err
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: truncated name")
-	}
-	flags, err := get("flags", ^uint64(0))
-	if err != nil {
-		return nil, err
-	}
-	if flags&^uint64(1) != 0 {
-		return nil, fmt.Errorf("trace: unknown flag bits %#x", flags&^uint64(1))
-	}
-	seed, err := get("seed", ^uint64(0))
-	if err != nil {
-		return nil, err
-	}
-	lineSize, err := get("line size", maxTraceLineSize)
-	if err != nil {
-		return nil, err
-	}
-	if lineSize == 0 {
-		return nil, fmt.Errorf("trace: zero line size")
-	}
-	cores, err := get("core count", maxTraceCores)
-	if err != nil {
-		return nil, err
-	}
-	if cores == 0 {
-		return nil, fmt.Errorf("trace: zero core count")
 	}
 	t := &Trace{
-		Name:     string(name),
-		Stream:   flags&1 != 0,
-		Seed:     seed,
-		LineSize: int(lineSize),
-		PerCore:  make([][]Request, cores),
+		Name:     h.Name,
+		Stream:   h.Stream,
+		Seed:     h.Seed,
+		LineSize: h.LineSize,
+		PerCore:  make([][]Request, h.Cores),
 	}
+	if version == 1 {
+		err = decodeV1Body(d, t)
+	} else {
+		err = decodeV2Body(d, t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("trace: trailing data after %d cores", h.Cores)
+	}
+	return t, nil
+}
+
+// decodeV1Body reads the legacy version-1 body: per core a request
+// count and then that many delta-encoded requests.
+func decodeV1Body(d *decodeState, t *Trace) error {
+	lineSize := uint64(t.LineSize)
+	maxLine := maxLineFor(lineSize)
 	for c := range t.PerCore {
-		count, err := get(fmt.Sprintf("core %d request count", c), 1<<40)
+		count, err := d.uvarint(fmt.Sprintf("core %d request count", c), 1<<40)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Grow incrementally: a corrupt count cannot force a huge upfront
 		// allocation because every record consumes input bytes.
 		reqs := make([]Request, 0, int(min(count, 1<<16)))
 		prevLine := int64(0)
-		// Cap lines so Addr = line * lineSize stays below 2^63: no uint64
-		// overflow, and alignment survives the round trip for any line
-		// size (wrapped addresses would silently corrupt the replay).
-		maxLine := min(uint64(maxTraceLine)-1, uint64(1<<63-1)/lineSize)
 		for i := uint64(0); i < count; i++ {
-			du, err := get("line delta", ^uint64(0))
+			du, err := d.uvarint("line delta", ^uint64(0))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			line := prevLine + unzigzag(du)
 			if line < 0 || uint64(line) > maxLine {
-				return nil, fmt.Errorf("trace: core %d request %d: line %d out of range", c, i, line)
+				return fmt.Errorf("trace: core %d request %d: line %d out of range", c, i, line)
 			}
-			meta, err := get("request meta", ^uint64(0))
+			meta, err := d.uvarint("request meta", ^uint64(0))
 			if err != nil {
-				return nil, err
+				return err
 			}
 			gap := meta >> 2
 			if gap > maxTraceGap {
-				return nil, fmt.Errorf("trace: core %d request %d: gap %d out of range", c, i, gap)
+				return fmt.Errorf("trace: core %d request %d: gap %d out of range", c, i, gap)
 			}
 			reqs = append(reqs, Request{
 				Addr:     uint64(line) * lineSize,
@@ -304,10 +236,136 @@ func Decode(r io.Reader) (*Trace, error) {
 		}
 		t.PerCore[c] = reqs
 	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return nil, fmt.Errorf("trace: trailing data after %d cores", cores)
+	return nil
+}
+
+// decodeV2Body reads the framed version-2 body sequentially, then
+// verifies that the trailing index and trailer describe exactly the
+// frames it read — a sequential decode accepts only files a random-
+// access Reader would replay identically.
+func decodeV2Body(d *decodeState, t *Trace) error {
+	for c := range t.PerCore {
+		t.PerCore[c] = make([]Request, 0)
 	}
-	return t, nil
+	lineSize := uint64(t.LineSize)
+	maxLine := maxLineFor(lineSize)
+	var (
+		seen    []frameInfo
+		payload []byte
+		raw     []byte
+		br      *bytes.Reader
+		inflate io.ReadCloser
+	)
+	for {
+		tag, err := d.readByte("section tag")
+		if err != nil {
+			return err
+		}
+		if tag == tagIndex {
+			break
+		}
+		if tag != tagFrame {
+			return fmt.Errorf("trace: unknown section tag %#x", tag)
+		}
+		core, err := d.uvarint("frame core", uint64(len(t.PerCore))-1)
+		if err != nil {
+			return err
+		}
+		count, err := d.uvarint("frame request count", maxFrameRequests)
+		if err != nil {
+			return err
+		}
+		if count == 0 {
+			return fmt.Errorf("trace: frame with zero requests")
+		}
+		flags, err := d.uvarint("frame flags", ^uint64(0))
+		if err != nil {
+			return err
+		}
+		if flags&^uint64(frameFlagDeflate) != 0 {
+			return fmt.Errorf("trace: unknown frame flag bits %#x", flags&^uint64(frameFlagDeflate))
+		}
+		length, err := d.uvarint("frame payload length", maxFramePayload)
+		if err != nil {
+			return err
+		}
+		if length == 0 {
+			return fmt.Errorf("trace: frame with an empty payload")
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		p := payload[:length]
+		off := d.off
+		if err := d.readFull(p, "frame payload"); err != nil {
+			return err
+		}
+		if flags&frameFlagDeflate != 0 {
+			if inflate == nil {
+				br = bytes.NewReader(p)
+				inflate = flate.NewReader(br)
+			} else {
+				br.Reset(p)
+				if err := inflate.(flate.Resetter).Reset(br, nil); err != nil {
+					return err
+				}
+			}
+			need := 20*int(count) + 1
+			if cap(raw) < need {
+				raw = make([]byte, need)
+			}
+			n, err := inflateInto(inflate, raw[:need])
+			if err != nil {
+				return fmt.Errorf("trace: frame at offset %d: %w", off, err)
+			}
+			p = raw[:n]
+		}
+		reqs := t.PerCore[core]
+		base := len(reqs)
+		reqs = append(reqs, make([]Request, count)...)
+		if err := decodeFrameInto(p, reqs[base:], 0, lineSize, maxLine); err != nil {
+			return fmt.Errorf("trace: frame at offset %d: %w", off, err)
+		}
+		t.PerCore[core] = reqs
+		seen = append(seen, frameInfo{
+			core: int(core), count: int(count), off: off, length: int(length), flags: byte(flags),
+		})
+	}
+	// The index tag has been consumed; verify the index against the
+	// frames actually read.
+	indexOff := d.off - 1
+	count, err := d.uvarint("index frame count", ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if count != uint64(len(seen)) {
+		return fmt.Errorf("trace: index lists %d frames; the file has %d", count, len(seen))
+	}
+	for i, want := range seen {
+		var got [5]uint64
+		for j, what := range [5]string{
+			"frame core", "frame request count", "frame payload offset", "frame payload length", "frame flags",
+		} {
+			if got[j], err = d.uvarint(what, ^uint64(0)); err != nil {
+				return err
+			}
+		}
+		if got[0] != uint64(want.core) || got[1] != uint64(want.count) ||
+			got[2] != uint64(want.off) || got[3] != uint64(want.length) || got[4] != uint64(want.flags) {
+			return fmt.Errorf("trace: index entry %d does not match the frame at offset %d", i, want.off)
+		}
+	}
+	var trailer [trailerSize]byte
+	if err := d.readFull(trailer[:], "index trailer"); err != nil {
+		return err
+	}
+	if string(trailer[8:]) != trailerMagic {
+		return fmt.Errorf("trace: truncated or corrupt trace file (bad index trailer magic)")
+	}
+	if got := int64(binary.LittleEndian.Uint64(trailer[:8])); got != indexOff {
+		return fmt.Errorf("trace: trailer points at index offset %d; the index is at %d", got, indexOff)
+	}
+	return nil
 }
 
 // WriteFile encodes the trace to path.

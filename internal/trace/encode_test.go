@@ -3,6 +3,8 @@ package trace
 import (
 	"bytes"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -204,6 +206,40 @@ func FuzzDecode(f *testing.F) {
 		corrupt := append([]byte{}, buf.Bytes()...)
 		corrupt[len(corrupt)/2] ^= 0x80
 		f.Add(corrupt)
+	}
+	// The committed v1 fixtures seed the legacy decode path, and a
+	// compressed small-frame recording seeds the per-frame inflate path.
+	for _, fixture := range []string{"gcc.v1.trace", "corun.v1.trace"} {
+		data, err := os.ReadFile(filepath.Join("testdata", "v1", fixture))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	{
+		w, err := WorkloadByName("copy")
+		if err != nil {
+			f.Fatal(err)
+		}
+		rec := Record(w, 2, 700, 1)
+		var buf bytes.Buffer
+		tw, err := NewWriter(&buf, Header{
+			Name: rec.Name, Stream: rec.Stream, Seed: rec.Seed, LineSize: rec.LineSize, Cores: 2,
+		}, &WriterOptions{FrameRequests: 256, Compress: true})
+		if err != nil {
+			f.Fatal(err)
+		}
+		for c, reqs := range rec.PerCore {
+			for _, req := range reqs {
+				if err := tw.Append(c, req); err != nil {
+					f.Fatal(err)
+				}
+			}
+		}
+		if err := tw.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
 	}
 	f.Add([]byte(traceMagic))
 	f.Fuzz(func(t *testing.T, data []byte) {

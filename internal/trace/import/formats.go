@@ -1,0 +1,165 @@
+package traceimport
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"impress/internal/trace"
+)
+
+// normalizeAddr maps a foreign byte address into the trace format's
+// address space: aligned down to the simulator's line size, folded
+// modulo the format's address bound (a multiple of the line size, so
+// alignment survives the fold).
+func normalizeAddr(addr uint64) uint64 {
+	return (addr &^ uint64(trace.LineSize-1)) % trace.MaxAddr()
+}
+
+// clampGap bounds a derived instruction gap to the format's limit.
+func clampGap(gap uint64) int {
+	return int(min(gap, uint64(trace.MaxGap())))
+}
+
+// parseUint accepts decimal, 0x-hex and octal (strconv base 0) fields.
+func parseUint(field, what string) (uint64, error) {
+	v, err := strconv.ParseUint(field, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", what, field)
+	}
+	return v, nil
+}
+
+// dramsimParser reads DRAMsim-style request logs:
+//
+//	<address> READ|WRITE <cycle>
+//
+// e.g. "0x2899d0d0 READ 15". The instruction gap of each request is the
+// cycle delta to the previous line (the log's own pacing signal); the
+// first request gets gap 0. Non-monotonic cycles are tolerated as gap 0
+// — some captures wrap or interleave channels.
+type dramsimParser struct {
+	started   bool
+	prevCycle uint64
+}
+
+func (p *dramsimParser) parse(line string, dst []trace.Request) ([]trace.Request, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return dst, fmt.Errorf("want \"<address> READ|WRITE <cycle>\", got %d fields", len(fields))
+	}
+	addr, err := parseUint(fields[0], "address")
+	if err != nil {
+		return dst, err
+	}
+	var write bool
+	switch strings.ToUpper(fields[1]) {
+	case "READ", "RD", "R":
+		write = false
+	case "WRITE", "WR", "W":
+		write = true
+	default:
+		return dst, fmt.Errorf("bad operation %q (want READ or WRITE)", fields[1])
+	}
+	cycle, err := parseUint(fields[2], "cycle")
+	if err != nil {
+		return dst, err
+	}
+	var gap uint64
+	if p.started && cycle > p.prevCycle {
+		gap = cycle - p.prevCycle
+	}
+	p.started, p.prevCycle = true, cycle
+	return append(dst, trace.Request{
+		Addr: normalizeAddr(addr), Write: write, Gap: clampGap(gap),
+	}), nil
+}
+
+// ramulatorParser reads ramulator-style CPU traces:
+//
+//	<bubbles> <read-address> [<writeback-address>]
+//
+// e.g. "37 20734016" or "13 27431536 2056308": bubbles is the number of
+// non-memory instructions preceding the load — exactly the trace
+// format's instruction gap — and the optional third field is the
+// writeback the load evicted, emitted as a write with gap 0 (it leaves
+// the core together with the load).
+type ramulatorParser struct{}
+
+func (ramulatorParser) parse(line string, dst []trace.Request) ([]trace.Request, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 && len(fields) != 3 {
+		return dst, fmt.Errorf("want \"<bubbles> <read-addr> [<writeback-addr>]\", got %d fields", len(fields))
+	}
+	bubbles, err := parseUint(fields[0], "bubble count")
+	if err != nil {
+		return dst, err
+	}
+	readAddr, err := parseUint(fields[1], "read address")
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, trace.Request{Addr: normalizeAddr(readAddr), Gap: clampGap(bubbles)})
+	if len(fields) == 3 {
+		wbAddr, err := parseUint(fields[2], "writeback address")
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, trace.Request{Addr: normalizeAddr(wbAddr), Write: true})
+	}
+	return dst, nil
+}
+
+// gem5TicksPerInstruction converts gem5 tick deltas (picoseconds by
+// default) into approximate instruction gaps: at the reference 2 GHz,
+// one cycle — order one instruction — is 500 ticks.
+const gem5TicksPerInstruction = 500
+
+// gem5Parser reads gem5-style packet-trace CSV records:
+//
+//	<tick>,r|w,<address>[,<size>]
+//
+// e.g. "1000,r,8413248,64". The instruction gap derives from the tick
+// delta to the previous record at the reference clock; the size column
+// is accepted and ignored (the simulator works in whole cache lines).
+type gem5Parser struct {
+	started  bool
+	prevTick uint64
+}
+
+func (p *gem5Parser) parse(line string, dst []trace.Request) ([]trace.Request, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) != 3 && len(fields) != 4 {
+		return dst, fmt.Errorf("want \"<tick>,r|w,<address>[,<size>]\", got %d fields", len(fields))
+	}
+	tick, err := parseUint(strings.TrimSpace(fields[0]), "tick")
+	if err != nil {
+		return dst, err
+	}
+	var write bool
+	switch strings.ToLower(strings.TrimSpace(fields[1])) {
+	case "r", "read":
+		write = false
+	case "w", "write":
+		write = true
+	default:
+		return dst, fmt.Errorf("bad operation %q (want r or w)", strings.TrimSpace(fields[1]))
+	}
+	addr, err := parseUint(strings.TrimSpace(fields[2]), "address")
+	if err != nil {
+		return dst, err
+	}
+	if len(fields) == 4 {
+		if _, err := parseUint(strings.TrimSpace(fields[3]), "size"); err != nil {
+			return dst, err
+		}
+	}
+	var gap uint64
+	if p.started && tick > p.prevTick {
+		gap = (tick - p.prevTick) / gem5TicksPerInstruction
+	}
+	p.started, p.prevTick = true, tick
+	return append(dst, trace.Request{
+		Addr: normalizeAddr(addr), Write: write, Gap: clampGap(gap),
+	}), nil
+}

@@ -1,0 +1,38 @@
+package traceimport
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"impress/internal/trace"
+)
+
+// FuzzImport feeds arbitrary bytes through every importer: conversion
+// must never panic, memory must stay bounded by the input (the line cap
+// and the writer's frame buffers guarantee it structurally; the fuzzer
+// guards the parsers), and anything a converter accepts must be a
+// decodable trace whose request count matches the reported stats.
+func FuzzImport(f *testing.F) {
+	f.Add("0x1000 READ 100\n0x1040 WRITE 103\n")
+	f.Add("37 20734016\n13 27431536 2056308\n")
+	f.Add("1000,r,8413248,64\n1500,w,8413312\n")
+	f.Add("# comment\n\n0x10 R 1\n")
+	f.Add("18446744073709551615 18446744073709551615\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		for _, format := range Formats() {
+			var buf bytes.Buffer
+			st, err := Convert(context.Background(), format, bytes.NewReader([]byte(input)), &buf, Options{Name: "fuzz"})
+			if err != nil {
+				continue
+			}
+			tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s: accepted input produced an undecodable trace: %v", format, err)
+			}
+			if int64(tr.Requests()) != st.Requests {
+				t.Fatalf("%s: stats report %d requests, trace holds %d", format, st.Requests, tr.Requests())
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package traceimport converts externally captured memory-request logs
+// — DRAMsim-style address/op/cycle logs, ramulator-style CPU traces and
+// gem5-style CSV records — into the simulator's framed binary trace
+// format, so real captured workloads drop into every experiment, sweep
+// and cache key exactly like a recorded synthetic workload.
+//
+// Conversion streams: lines are parsed one at a time and appended
+// through the trace.Writer's bounded frame buffers, so a multi-billion-
+// line capture converts with flat memory. The resulting file carries an
+// "import:<format>:<label>" name; such names are not resolvable to a
+// generator, which is why replay tooling keys imported replays by file
+// content rather than by name (DESIGN.md §8), and why an imported
+// replay always runs at the header's recorded seed.
+//
+// The mapping rules (DESIGN.md §7): foreign byte addresses are aligned
+// down to the simulator's cache-line size and folded into the format's
+// address space; per-request instruction gaps derive from each format's
+// native pacing signal (cycle deltas, bubble counts, tick deltas) and
+// are clamped to the format bound. All requests land on core 0 — the
+// external logs carry no reliable per-core attribution — so multi-core
+// studies co-run an imported trace against synthetic aggressors via the
+// mix machinery rather than splitting the capture.
+package traceimport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"impress/internal/errs"
+	"impress/internal/trace"
+)
+
+// maxLineBytes caps one input line; longer lines are rejected rather
+// than buffered, keeping conversion memory independent of the input.
+const maxLineBytes = 1 << 16
+
+// Options tunes a conversion. The zero value is usable: an empty Name
+// drops the label (the header name is then just "import:<format>"),
+// seed 0, default frame size, uncompressed.
+type Options struct {
+	// Name is the label stored after "import:<format>:" in the trace
+	// header — conventionally the capture's file name.
+	Name string
+	// Seed is recorded in the header. Imported replays always run at the
+	// recorded seed; pick the seed the replayed experiments should use.
+	Seed uint64
+	// FrameRequests overrides the trace frame size (0 = default).
+	FrameRequests int
+	// Compress deflate-compresses every frame.
+	Compress bool
+}
+
+// Stats summarizes a completed conversion.
+type Stats struct {
+	// Requests is the number of trace requests written.
+	Requests int64
+	// Lines is the number of input lines read.
+	Lines int64
+	// Skipped counts blank and comment ('#') lines.
+	Skipped int64
+}
+
+// lineParser converts one input line into zero or more requests,
+// carrying whatever running state the format needs (previous cycle or
+// tick) between lines.
+type lineParser interface {
+	parse(line string, dst []trace.Request) ([]trace.Request, error)
+}
+
+// parsers maps format names to fresh parser constructors.
+var parsers = map[string]func() lineParser{
+	"dramsim":   func() lineParser { return &dramsimParser{} },
+	"ramulator": func() lineParser { return &ramulatorParser{} },
+	"gem5":      func() lineParser { return &gem5Parser{} },
+}
+
+// Formats returns the supported format names, sorted.
+func Formats() []string {
+	names := make([]string, 0, len(parsers))
+	for name := range parsers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Convert parses src as the named external format and writes it to dst
+// as a version-2 trace file, streaming both sides. Unparseable input
+// and unknown formats return errs.ErrBadSpec with the offending line
+// number; ctx is polled every few thousand lines (errs.ErrCancelled).
+// An input with no requests at all is rejected — an empty trace cannot
+// drive a simulation.
+func Convert(ctx context.Context, format string, src io.Reader, dst io.Writer, opts Options) (Stats, error) {
+	newParser, ok := parsers[format]
+	if !ok {
+		return Stats{}, fmt.Errorf("%w: unknown import format %q (want one of %s)",
+			errs.ErrBadSpec, format, strings.Join(Formats(), ", "))
+	}
+	name := trace.ImportedPrefix + format
+	if opts.Name != "" {
+		name += ":" + opts.Name
+	}
+	w, err := trace.NewWriter(dst, trace.Header{
+		Name: name, Seed: opts.Seed, LineSize: trace.LineSize, Cores: 1,
+	}, &trace.WriterOptions{FrameRequests: opts.FrameRequests, Compress: opts.Compress})
+	if err != nil {
+		return Stats{}, err
+	}
+	p := newParser()
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	var st Stats
+	var reqs []trace.Request
+	done := ctx.Done()
+	for sc.Scan() {
+		st.Lines++
+		if done != nil && st.Lines&0xfff == 0 {
+			select {
+			case <-done:
+				return st, fmt.Errorf("importing %s: %w", format, errs.Cancelled(ctx.Err()))
+			default:
+			}
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			st.Skipped++
+			continue
+		}
+		if reqs, err = p.parse(line, reqs[:0]); err != nil {
+			return st, fmt.Errorf("%w: %s line %d: %w", errs.ErrBadSpec, format, st.Lines, err)
+		}
+		for _, req := range reqs {
+			if err := w.Append(0, req); err != nil {
+				return st, err
+			}
+			st.Requests++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, fmt.Errorf("%w: %s line %d: %w", errs.ErrBadSpec, format, st.Lines+1, err)
+	}
+	if st.Requests == 0 {
+		return st, fmt.Errorf("%w: %s input contains no requests", errs.ErrBadSpec, format)
+	}
+	return st, w.Close()
+}

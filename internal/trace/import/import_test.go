@@ -1,0 +1,187 @@
+package traceimport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+
+	"impress/internal/errs"
+	"impress/internal/trace"
+)
+
+func convert(t *testing.T, format, input string, opts Options) (*trace.Trace, Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	st, err := Convert(t.Context(), format, strings.NewReader(input), &buf, opts)
+	if err != nil {
+		t.Fatalf("convert %s: %v", format, err)
+	}
+	tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("imported %s trace does not decode: %v", format, err)
+	}
+	return tr, st
+}
+
+func TestImportDRAMsim(t *testing.T) {
+	input := `# channel 0 capture
+0x1000 READ 100
+0x1040 WRITE 103
+
+0x20001 read 110
+`
+	tr, st := convert(t, "dramsim", input, Options{Name: "cap.log", Seed: 7})
+	if st.Requests != 3 || st.Lines != 5 || st.Skipped != 2 {
+		t.Fatalf("stats %+v, want 3 requests over 5 lines with 2 skipped", st)
+	}
+	if tr.Name != "import:dramsim:cap.log" || tr.Seed != 7 || len(tr.PerCore) != 1 {
+		t.Fatalf("header %q seed %d cores %d", tr.Name, tr.Seed, len(tr.PerCore))
+	}
+	if !trace.Imported(tr.Name) {
+		t.Fatalf("imported trace name %q not flagged as imported", tr.Name)
+	}
+	want := []trace.Request{
+		{Addr: 0x1000, Gap: 0},
+		{Addr: 0x1040, Write: true, Gap: 3},
+		{Addr: 0x20000, Gap: 7}, // 0x20001 aligned down to the line
+	}
+	for i, wr := range want {
+		if got := tr.PerCore[0][i]; got != wr {
+			t.Fatalf("request %d: %+v, want %+v", i, got, wr)
+		}
+	}
+}
+
+func TestImportRamulator(t *testing.T) {
+	input := "37 20734016\n13 27431536 2056308\n"
+	tr, st := convert(t, "ramulator", input, Options{})
+	if st.Requests != 3 {
+		t.Fatalf("stats %+v, want 3 requests (2 reads + 1 writeback)", st)
+	}
+	if tr.Name != "import:ramulator" {
+		t.Fatalf("label-less import named %q", tr.Name)
+	}
+	want := []trace.Request{
+		{Addr: 20734016 &^ 63, Gap: 37},
+		{Addr: 27431536 &^ 63, Gap: 13},
+		{Addr: 2056308 &^ 63, Write: true},
+	}
+	for i, wr := range want {
+		if got := tr.PerCore[0][i]; got != wr {
+			t.Fatalf("request %d: %+v, want %+v", i, got, wr)
+		}
+	}
+}
+
+func TestImportGem5(t *testing.T) {
+	input := "1000,r,8413248,64\n2500,w,8413312\n2000,R,64\n"
+	tr, _ := convert(t, "gem5", input, Options{})
+	want := []trace.Request{
+		{Addr: 8413248, Gap: 0},
+		{Addr: 8413312, Write: true, Gap: 3}, // (2500-1000)/500
+		{Addr: 64, Gap: 0},                   // non-monotonic tick tolerated
+	}
+	for i, wr := range want {
+		if got := tr.PerCore[0][i]; got != wr {
+			t.Fatalf("request %d: %+v, want %+v", i, got, wr)
+		}
+	}
+}
+
+func TestImportedTraceReplays(t *testing.T) {
+	// An imported file must stream back through the Reader exactly like
+	// a recorded one.
+	var input strings.Builder
+	for i := 0; i < 3000; i++ {
+		input.WriteString("4 ")
+		input.WriteString(strconv.FormatUint(uint64(i)*64, 10))
+		input.WriteString("\n")
+	}
+	var buf bytes.Buffer
+	st, err := Convert(t.Context(), "ramulator", strings.NewReader(input.String()), &buf, Options{Name: "seq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 3000 {
+		t.Fatalf("imported %d requests, want 3000", st.Requests)
+	}
+	r, err := trace.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests() != 3000 || r.Header().Name != "import:ramulator:seq" {
+		t.Fatalf("reader sees %d requests of %q", r.Requests(), r.Header().Name)
+	}
+	w, err := r.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := w.NewGenerator(0, r.Header().Seed)
+	for i := 0; i < 3000; i++ {
+		want := trace.Request{Addr: uint64(i) * 64, Gap: 4}
+		if got := g.Next(); got != want {
+			t.Fatalf("request %d: %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+func TestImportRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct{ format, input string }{
+		{"dramsim", "0x1000 READ"},            // missing cycle
+		{"dramsim", "0x1000 FETCH 3"},         // bad op
+		{"dramsim", "zzz READ 3"},             // bad address
+		{"ramulator", "1 2 3 4"},              // too many fields
+		{"ramulator", "x 2"},                  // bad bubbles
+		{"gem5", "100;r;64"},                  // wrong separator
+		{"gem5", "100,x,64"},                  // bad op
+		{"nonesuch", "anything"},              // unknown format
+		{"dramsim", ""},                       // no requests at all
+		{"dramsim", "# only\n# comments\n\n"}, // no requests at all
+	} {
+		var buf bytes.Buffer
+		_, err := Convert(t.Context(), tc.format, strings.NewReader(tc.input), &buf, Options{})
+		if err == nil {
+			t.Errorf("%s %q: accepted", tc.format, tc.input)
+			continue
+		}
+		if !errors.Is(err, errs.ErrBadSpec) {
+			t.Errorf("%s %q: error %v is not ErrBadSpec", tc.format, tc.input, err)
+		}
+	}
+}
+
+func TestImportHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Enough lines to hit the poll interval.
+	input := strings.Repeat("1 64\n", 5000)
+	var buf bytes.Buffer
+	_, err := Convert(ctx, "ramulator", strings.NewReader(input), &buf, Options{})
+	if !errors.Is(err, errs.ErrCancelled) {
+		t.Fatalf("cancelled import returned %v, want ErrCancelled", err)
+	}
+}
+
+func TestImportRejectsOverlongLine(t *testing.T) {
+	var buf bytes.Buffer
+	input := "1 " + strings.Repeat("9", maxLineBytes+16) + "\n"
+	if _, err := Convert(t.Context(), "ramulator", strings.NewReader(input), &buf, Options{}); err == nil {
+		t.Fatal("a line beyond the buffer cap must be rejected, not buffered")
+	}
+}
+
+func TestFormatsListsAll(t *testing.T) {
+	got := Formats()
+	want := []string{"dramsim", "gem5", "ramulator"}
+	if len(got) != len(want) {
+		t.Fatalf("Formats() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Formats() = %v, want %v", got, want)
+		}
+	}
+}

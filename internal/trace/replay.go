@@ -14,7 +14,9 @@ import "fmt"
 // diverging.
 //
 // The trace must have been recorded at the simulator's line size, and a
-// replayed simulation can use at most len(t.PerCore) cores.
+// replayed simulation can use at most len(t.PerCore) cores. For traces
+// too large to materialize, Reader.Workload replays the same contract
+// from disk with a fixed per-core buffer.
 func (t *Trace) Workload() (Workload, error) {
 	if len(t.PerCore) == 0 {
 		return Workload{}, fmt.Errorf("trace: %q records no cores", t.Name)
@@ -31,32 +33,36 @@ func (t *Trace) Workload() (Workload, error) {
 				panic(fmt.Sprintf("trace: %q records %d cores; generator for core %d requested",
 					t.Name, len(t.PerCore), coreID))
 			}
-			return &replayGen{t: t, core: coreID}
+			return &replayGen{name: t.Name, core: coreID, reqs: t.PerCore[coreID]}
 		},
 	}, nil
 }
 
 // replayGen replays one core's recorded stream. Each generator instance
-// keeps its own cursor, so one Trace can feed any number of concurrent
-// simulations.
+// keeps its own cursor and caches its core's slice, so one Trace can
+// feed any number of concurrent simulations and the per-request cost is
+// one bounds check and an index.
 type replayGen struct {
-	t    *Trace
+	name string
 	core int
+	reqs []Request
 	pos  int
 }
 
 // Name implements Generator.
-func (g *replayGen) Name() string { return g.t.Name }
+func (g *replayGen) Name() string { return g.name }
 
-// Next implements Generator.
+// Next implements Generator: it returns the next recorded request. It
+// feeds cpu.Core.Step on the simulator hot path.
+//
+//impress:hotpath
 func (g *replayGen) Next() Request {
-	reqs := g.t.PerCore[g.core]
-	if g.pos >= len(reqs) {
+	if g.pos >= len(g.reqs) {
 		panic(fmt.Sprintf(
 			"trace: %q core %d exhausted after %d replayed requests; re-record with a larger per-core request budget",
-			g.t.Name, g.core, len(reqs)))
+			g.name, g.core, g.pos))
 	}
-	req := reqs[g.pos]
+	req := g.reqs[g.pos]
 	g.pos++
 	return req
 }

@@ -321,6 +321,16 @@ func (l *Lab) Record(ctx context.Context, w Workload, cores, perCore int, seed u
 	return trace.RecordContext(ctx, w, cores, perCore, seed)
 }
 
+// RecordFile is Record straight to a version-2 trace file at path,
+// streaming frames to disk as they fill: memory stays bounded by the
+// per-core frame buffers no matter how large the recording, so it is
+// the way to produce traces bigger than RAM. On any failure — invalid
+// counts (ErrBadSpec), cancellation, an I/O error — the partial file is
+// removed.
+func (l *Lab) RecordFile(ctx context.Context, w Workload, cores, perCore int, seed uint64, path string) error {
+	return trace.RecordFile(ctx, w, cores, perCore, seed, path)
+}
+
 // Replay runs the recorded trace at path through the full simulator:
 // cfg supplies the system and defense configuration while the trace
 // supplies the request streams, core count and seed. Replays share
