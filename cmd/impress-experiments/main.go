@@ -81,15 +81,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	var scale experiments.Scale
-	switch *scaleFlag {
-	case "quick":
-		scale = experiments.QuickScale()
-	case "standard":
-		scale = experiments.StandardScale()
-	case "full":
-		scale = experiments.FullScale()
-	default:
+	scale, err := experiments.ScaleByName(*scaleFlag)
+	if err != nil {
 		fmt.Fprintf(stderr, "unknown scale %q (want quick, standard, or full)\n", *scaleFlag)
 		return 2
 	}

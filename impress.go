@@ -73,6 +73,7 @@ import (
 	"impress/internal/core"
 	"impress/internal/dram"
 	"impress/internal/experiments"
+	"impress/internal/labd"
 	"impress/internal/resultstore"
 	"impress/internal/security"
 	"impress/internal/sim"
@@ -484,3 +485,49 @@ func ExperimentsParallel(scale ExperimentScale, parallelism int) []*ExperimentTa
 
 // AnalyticalExperiments regenerates the simulation-free subset.
 func AnalyticalExperiments() []*ExperimentTable { return experiments.Analytical() }
+
+// ---- Sweep service (DESIGN.md §11) ----
+
+// SweepClient talks to an impress-labd daemon: the experiment sweeps a
+// local ExperimentRunner performs, submitted to a long-running service
+// instead. Errors reconstruct the same taxonomy local runs return, so
+// errors.Is(err, ErrBadSpec) works identically for a remote sweep.
+type SweepClient = labd.Client
+
+// SweepRequest selects a sweep to submit: the impress-experiments
+// CLI's scale/ID/shard selections as a struct. The zero value is the
+// full quick-scale sweep.
+type SweepRequest = labd.SweepRequest
+
+// SweepJob is the snapshot of one submitted sweep: lifecycle state,
+// shard layout, and the cache-hit/simulated counters that prove a warm
+// resubmit simulated nothing.
+type SweepJob = labd.Job
+
+// SweepJobState enumerates a sweep job's lifecycle states.
+type SweepJobState = labd.JobState
+
+// The sweep job lifecycle: queued -> running -> one of the three
+// terminal states.
+const (
+	SweepStateQueued    = labd.StateQueued
+	SweepStateRunning   = labd.StateRunning
+	SweepStateDone      = labd.StateDone
+	SweepStateFailed    = labd.StateFailed
+	SweepStateCancelled = labd.StateCancelled
+)
+
+// SweepEvent is one entry in a job's progress stream: the Lab's
+// Progress events on the wire, plus state transitions and the lagged
+// marker a slow consumer receives instead of back-pressuring the sweep.
+type SweepEvent = labd.Event
+
+// SweepTables is the rendered-tables response for a job; each table's
+// Text is the byte-exact Render output of the equivalent local run.
+type SweepTables = labd.TablesResponse
+
+// NewSweepClient returns a client for the impress-labd daemon at base
+// (e.g. "http://127.0.0.1:8057"). It opens no connection until a
+// method is called; cancel the per-call context to abort requests and
+// long-lived event streams.
+func NewSweepClient(base string) *SweepClient { return labd.NewClient(base) }

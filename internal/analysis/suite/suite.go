@@ -66,6 +66,11 @@ var legacyNoCtx = []string{
 	"NewLab", "WithStore", "WithResultStore",
 	"WithParallelism", "WithClock", "WithProgress",
 	"ExperimentsOnly", "ExperimentsAnalytical", "ExperimentsOnTable",
+
+	// Sweep-service client construction (PR 8 review): a pure
+	// constructor — it opens no connection and performs no run work;
+	// every SweepClient method takes ctx first.
+	"NewSweepClient",
 }
 
 // deprecatedPanicWrappers are the pre-Lab entry points that panic on

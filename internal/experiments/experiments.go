@@ -100,6 +100,25 @@ func FullScale() Scale {
 	return Scale{Name: "full", Warmup: 100_000, Run: 500_000}
 }
 
+// ScaleByName resolves the named experiment scale — the one vocabulary
+// shared by the -scale CLI flags and the sweep-service job API, so a
+// spec submitted to a daemon means exactly what it means locally. An
+// unknown name returns an error wrapping errs.ErrBadSpec naming the
+// known set.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "quick":
+		return QuickScale(), nil
+	case "standard":
+		return StandardScale(), nil
+	case "full":
+		return FullScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("experiments: %w: unknown scale %q (want quick, standard, or full)",
+			errs.ErrBadSpec, name)
+	}
+}
+
 // Runner executes and memoizes simulation runs so experiments sharing a
 // configuration (e.g. the No-RP baseline) pay for it once.
 //
@@ -529,17 +548,23 @@ func (r *Runner) PrefetchContext(ctx context.Context, specs []RunSpec) (err erro
 	return nil
 }
 
-// Shard returns the deterministic subset of specs owned by shard index
-// (1-based) out of count. Specs are deduplicated by canonical key and
-// each distinct simulation is assigned to exactly one shard by its key
-// hash, so for any count the shards are pairwise disjoint and their union
-// is the full deduplicated spec set — an exact cover. The assignment
-// depends only on the canonical keys, so every machine in a fleet
-// computes the same partition and the shards merge losslessly through a
-// shared Store.
-func (r *Runner) Shard(specs []RunSpec, index, count int) []RunSpec {
+// ShardSpecs returns the deterministic subset of specs owned by shard
+// index (1-based) out of count. Specs are deduplicated by canonical key
+// and each distinct simulation is assigned to exactly one shard by its
+// key hash, so for any count the shards are pairwise disjoint and their
+// union is the full deduplicated spec set — an exact cover. The
+// assignment depends only on the canonical keys, so every machine in a
+// fleet computes the same partition and the shards merge losslessly
+// through a shared Store.
+//
+// Out-of-range index/count returns an error wrapping errs.ErrBadSpec —
+// shard parameters that arrive over the wire (the impress-labd job API)
+// must be rejectable without killing the server. Shard is the
+// historical panicking wrapper.
+func (r *Runner) ShardSpecs(specs []RunSpec, index, count int) ([]RunSpec, error) {
 	if count < 1 || index < 1 || index > count {
-		panic(fmt.Sprintf("experiments: shard %d/%d out of range", index, count))
+		return nil, fmt.Errorf("experiments: %w: shard %d/%d out of range (want 1 <= index <= count)",
+			errs.ErrBadSpec, index, count)
 	}
 	seen := make(map[string]bool, len(specs))
 	var out []RunSpec
@@ -552,6 +577,17 @@ func (r *Runner) Shard(specs []RunSpec, index, count int) []RunSpec {
 		if shardOf(k, count) == index-1 {
 			out = append(out, s)
 		}
+	}
+	return out, nil
+}
+
+// Shard is ShardSpecs with the pre-daemon panicking contract on an
+// out-of-range index/count, kept for legacy callers that validate their
+// shard parameters up front (the impress-experiments -shard flag).
+func (r *Runner) Shard(specs []RunSpec, index, count int) []RunSpec {
+	out, err := r.ShardSpecs(specs, index, count)
+	if err != nil {
+		panic(err.Error())
 	}
 	return out
 }

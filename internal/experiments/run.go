@@ -10,7 +10,8 @@ import (
 )
 
 // Definition describes one runnable experiment: its CLI/-only ID,
-// whether it needs performance simulations, and its table builder.
+// whether it needs performance simulations, its table builder, and —
+// for simulation-backed experiments — its declared spec list.
 type Definition struct {
 	ID string
 	// Analytical marks experiments that need no performance simulation
@@ -18,6 +19,10 @@ type Definition struct {
 	Analytical bool
 	// Build assembles the table, using r for simulation-backed runs.
 	Build func(r *Runner) *Table
+	// Specs declares every simulation Build needs (nil for analytical
+	// experiments). SpecsFor unions them so sweep services can shard a
+	// job's exact simulation universe before assembling any table.
+	Specs func(r *Runner) []RunSpec
 }
 
 // Definitions returns every experiment in paper order — the single
@@ -26,26 +31,26 @@ func Definitions() []Definition {
 	a := func(id string, build func() *Table) Definition {
 		return Definition{ID: id, Analytical: true, Build: func(*Runner) *Table { return build() }}
 	}
-	s := func(id string, build func(*Runner) *Table) Definition {
-		return Definition{ID: id, Build: build}
+	s := func(id string, build func(*Runner) *Table, specs func(*Runner) []RunSpec) Definition {
+		return Definition{ID: id, Build: build, Specs: specs}
 	}
 	return []Definition{
 		a("table1", TableI),
 		a("table2", TableII),
-		s("fig3", Figure3),
+		s("fig3", Figure3, figure3Specs),
 		a("fig4", Figure4),
-		s("fig5", Figure5),
+		s("fig5", Figure5, figure5Specs),
 		a("fig6", Figure6),
 		a("fig7", Figure7),
 		a("fig8", Figure8),
 		a("eq5", ImpressNWorstCase),
 		a("fig12", Figure12),
-		s("fig13", Figure13),
+		s("fig13", Figure13, figure13Specs),
 		a("table3", TableIII),
-		s("fig14", Figure14),
-		s("energy", EnergyTable),
-		s("fig15", Figure15),
-		s("fig16", Figure16),
+		s("fig14", Figure14, figure14Specs),
+		s("energy", EnergyTable, figure14Specs),
+		s("fig15", Figure15, figure15Specs),
+		s("fig16", Figure16, figure16Specs),
 		a("fig18", Figure18),
 		a("fig19", Figure19),
 		a("storage", StorageTable),
@@ -94,25 +99,9 @@ type RunOptions struct {
 // Store attached — so a cancelled sweep rerun resumes warm. Internal
 // invariant panics still propagate.
 func RunTables(ctx context.Context, r *Runner, opts RunOptions) (tables []*Table, err error) {
-	defs := Definitions()
-	want := map[string]bool{}
-	for _, id := range opts.Only {
-		var def *Definition
-		for i := range defs {
-			if defs[i].ID == id {
-				def = &defs[i]
-				break
-			}
-		}
-		if def == nil {
-			return nil, fmt.Errorf("experiments: %w: unknown experiment ID %q (known: %s)",
-				errs.ErrBadSpec, id, strings.Join(KnownIDs(), ", "))
-		}
-		if opts.Analytical && !def.Analytical {
-			return nil, fmt.Errorf("experiments: %w: experiment %q is simulation-backed; drop the analytical restriction to run it",
-				errs.ErrBadSpec, id)
-		}
-		want[id] = true
+	selected, err := selectDefs(opts)
+	if err != nil {
+		return nil, err
 	}
 
 	defer r.bind(ctx)()
@@ -133,16 +122,10 @@ func RunTables(ctx context.Context, r *Runner, opts RunOptions) (tables []*Table
 	// instead — the memo still deduplicates cross-figure overlap, and
 	// output is byte-identical either way. Filtered runs are always
 	// lazy.
-	if len(want) == 0 && !opts.Analytical && opts.OnTable == nil {
+	if len(opts.Only) == 0 && !opts.Analytical && opts.OnTable == nil {
 		r.Prefetch(allSimSpecs(r))
 	}
-	for _, d := range defs {
-		if len(want) > 0 && !want[d.ID] {
-			continue
-		}
-		if opts.Analytical && !d.Analytical {
-			continue
-		}
+	for _, d := range selected {
 		r.checkCtx()
 		t := d.Build(r)
 		r.emit(Progress{Kind: ProgressTableRendered, Table: t.ID})
@@ -152,6 +135,86 @@ func RunTables(ctx context.Context, r *Runner, opts RunOptions) (tables []*Table
 		tables = append(tables, t)
 	}
 	return tables, nil
+}
+
+// selectDefs resolves a RunOptions selection against the registry: the
+// selected definitions in paper order, or a typed error for an unknown
+// ID or an -only/-analytical conflict. RunTables and SpecsFor share it
+// so "which experiments does this request name" can never disagree
+// between validation, sharding and assembly.
+func selectDefs(opts RunOptions) ([]Definition, error) {
+	defs := Definitions()
+	want := map[string]bool{}
+	for _, id := range opts.Only {
+		var def *Definition
+		for i := range defs {
+			if defs[i].ID == id {
+				def = &defs[i]
+				break
+			}
+		}
+		if def == nil {
+			return nil, fmt.Errorf("experiments: %w: unknown experiment ID %q (known: %s)",
+				errs.ErrBadSpec, id, strings.Join(KnownIDs(), ", "))
+		}
+		if opts.Analytical && !def.Analytical {
+			return nil, fmt.Errorf("experiments: %w: experiment %q is simulation-backed; drop the analytical restriction to run it",
+				errs.ErrBadSpec, id)
+		}
+		want[id] = true
+	}
+	var selected []Definition
+	for _, d := range defs {
+		if len(want) > 0 && !want[d.ID] {
+			continue
+		}
+		if opts.Analytical && !d.Analytical {
+			continue
+		}
+		selected = append(selected, d)
+	}
+	return selected, nil
+}
+
+// SpecsFor returns the deduplicated union of the simulation specs the
+// experiments selected by opts need — the exact universe a sweep
+// service shards across its worker fleet before assembling any table
+// (OnTable is ignored; an all-analytical selection returns an empty
+// universe). Specs keep their first-seen declaration order, so every
+// node computes the same list. Unknown IDs, selection conflicts and
+// unresolvable scale workloads surface as typed errors (errs.ErrBadSpec,
+// errs.ErrUnknownWorkload) exactly as RunTables would report them.
+func SpecsFor(r *Runner, opts RunOptions) (specs []RunSpec, err error) {
+	selected, err := selectDefs(opts)
+	if err != nil {
+		return nil, err
+	}
+	// Workload resolution (r.Workloads inside the Specs funcs) reports
+	// scale typos through the historical runAbort panic; recover it
+	// into the typed error here like the other context-aware
+	// boundaries.
+	defer func() {
+		if p := recover(); p != nil {
+			if a, ok := p.(*runAbort); ok {
+				specs, err = nil, a.err
+				return
+			}
+			panic(p)
+		}
+	}()
+	seen := make(map[string]bool)
+	for _, d := range selected {
+		if d.Specs == nil || opts.Analytical {
+			continue
+		}
+		for _, s := range d.Specs(r) {
+			if k := string(r.storeSpec(s).Key()); !seen[k] {
+				seen[k] = true
+				specs = append(specs, s)
+			}
+		}
+	}
+	return specs, nil
 }
 
 // AllContext regenerates every table and figure under a context; see

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
+	"impress/internal/errs"
 	"impress/internal/resultstore"
 )
 
@@ -106,6 +108,86 @@ func TestShardRejectsBadIndices(t *testing.T) {
 			}()
 			r.Shard(nil, bad[0], bad[1])
 		}()
+	}
+}
+
+// TestShardSpecsRejectsBadIndices pins the daemon-facing seam: shard
+// parameters from the wire come back as typed errors, never panics.
+func TestShardSpecsRejectsBadIndices(t *testing.T) {
+	r := NewRunner(tinyScale())
+	for _, bad := range [][2]int{{0, 2}, {3, 2}, {1, 0}, {-1, 3}, {2, -2}} {
+		out, err := r.ShardSpecs(nil, bad[0], bad[1])
+		if err == nil {
+			t.Errorf("ShardSpecs(%d, %d) = %v, want error", bad[0], bad[1], out)
+			continue
+		}
+		if !errors.Is(err, errs.ErrBadSpec) {
+			t.Errorf("ShardSpecs(%d, %d) error %v does not match errs.ErrBadSpec", bad[0], bad[1], err)
+		}
+	}
+	if _, err := r.ShardSpecs(nil, 1, 1); err != nil {
+		t.Fatalf("ShardSpecs(1, 1) = %v, want nil error", err)
+	}
+}
+
+// TestSpecsForMatchesSweepUniverse checks that the sharding seam sees
+// exactly the universe the sweep itself will simulate: no selection
+// equals the full deduplicated union, an -only selection equals that
+// figure's deduplicated list, analytical selections are empty, and
+// selection errors are typed.
+func TestSpecsForMatchesSweepUniverse(t *testing.T) {
+	r := NewRunner(QuickScale())
+	keysOf := func(specs []RunSpec) map[string]bool {
+		m := map[string]bool{}
+		for _, s := range specs {
+			m[string(r.storeSpec(s).Key())] = true
+		}
+		return m
+	}
+
+	full, err := SpecsFor(r, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := keysOf(allSimSpecs(r))
+	if got := keysOf(full); len(got) != len(want) || len(full) != len(want) {
+		t.Fatalf("SpecsFor(all) has %d specs (%d distinct), want the %d-spec deduplicated universe",
+			len(full), len(got), len(want))
+	}
+
+	fig3, err := SpecsFor(r, RunOptions{Only: []string{"fig3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := keysOf(fig3), keysOf(figure3Specs(r)); len(got) != len(want) {
+		t.Fatalf("SpecsFor(fig3) covers %d distinct specs, want %d", len(got), len(want))
+	}
+
+	analytical, err := SpecsFor(r, RunOptions{Analytical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(analytical) != 0 {
+		t.Fatalf("SpecsFor(analytical) = %d specs, want none", len(analytical))
+	}
+
+	if _, err := SpecsFor(r, RunOptions{Only: []string{"no-such-figure"}}); !errors.Is(err, errs.ErrBadSpec) {
+		t.Fatalf("SpecsFor(unknown ID) error = %v, want errs.ErrBadSpec", err)
+	}
+	if r.Sims() != 0 {
+		t.Fatalf("SpecsFor must not simulate (ran %d)", r.Sims())
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"quick", "standard", "full"} {
+		sc, err := ScaleByName(name)
+		if err != nil || sc.Name != name {
+			t.Errorf("ScaleByName(%q) = %+v, %v", name, sc, err)
+		}
+	}
+	if _, err := ScaleByName("huge"); !errors.Is(err, errs.ErrBadSpec) {
+		t.Fatalf("ScaleByName(huge) error = %v, want errs.ErrBadSpec", err)
 	}
 }
 

@@ -1,0 +1,147 @@
+package labd
+
+import "sync"
+
+// hub is one job's event log and fan-out point. Publishing never
+// blocks: each subscriber owns a bounded channel, and a subscriber
+// that stops draining it loses events — counted and surfaced as a
+// synthetic lagged event — instead of backpressuring the sweep (a
+// stalled /events client must not slow a single worker). The log
+// itself is capped at retain events; late subscribers asking for
+// truncated history get a lagged marker up front.
+type hub struct {
+	mu sync.Mutex
+	// log holds events [firstSeq, nextSeq); older entries are discarded
+	// once len(log) exceeds retain.
+	log      []Event
+	firstSeq int64
+	nextSeq  int64
+	retain   int
+	subs     []*subscriber
+	closed   bool
+}
+
+// subscriber is one attached /events client. Its channel is sized one
+// beyond the advertised buffer: the reserved slot guarantees the final
+// lagged marker fits at close even when the consumer never drained, so
+// a blocked client always learns it missed events. dropped is guarded
+// by the hub mutex.
+type subscriber struct {
+	ch      chan Event
+	dropped int64
+}
+
+// send delivers e if the buffer (excluding the reserved slot) has
+// room, reporting false otherwise. Sends happen only under the hub
+// mutex and the consumer only drains, so the room check cannot go
+// stale before the send.
+func (s *subscriber) send(e Event) bool {
+	if len(s.ch) >= cap(s.ch)-1 {
+		return false
+	}
+	s.ch <- e
+	return true
+}
+
+// offer fans one published event out to the subscriber, flagging any
+// accumulated gap first so the stream shows the lag where it happened.
+// Called under the hub mutex.
+func (s *subscriber) offer(e Event) {
+	if s.dropped > 0 {
+		if !s.send(Event{Seq: -1, Kind: KindLagged, Dropped: s.dropped}) {
+			s.dropped++
+			return
+		}
+		s.dropped = 0
+	}
+	if !s.send(e) {
+		s.dropped++
+	}
+}
+
+func newHub(retain int) *hub {
+	return &hub{retain: retain}
+}
+
+// publish appends e to the log and offers it to every subscriber
+// without blocking. No-op after close.
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	e.Seq = h.nextSeq
+	h.nextSeq++
+	h.log = append(h.log, e)
+	if drop := len(h.log) - h.retain; drop > 0 {
+		h.log = append(h.log[:0:0], h.log[drop:]...)
+		h.firstSeq += int64(drop)
+	}
+	for _, s := range h.subs {
+		s.offer(e)
+	}
+}
+
+// subscribe attaches a new consumer starting at sequence from: the
+// retained backlog from that point is returned for immediate delivery
+// (prefixed by a lagged marker when history before firstSeq was asked
+// for but already discarded), and subsequent events arrive on ch —
+// buffered at buf events, beyond which the subscriber lags. ch is
+// closed when the job's stream ends. cancel detaches (idempotent,
+// safe after ch closes).
+func (h *hub) subscribe(from int64, buf int) (backlog []Event, ch <-chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from < h.firstSeq {
+		backlog = append(backlog, Event{Seq: -1, Kind: KindLagged, Dropped: h.firstSeq - from})
+		from = h.firstSeq
+	}
+	if start := from - h.firstSeq; start < int64(len(h.log)) {
+		backlog = append(backlog, h.log[start:]...)
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	s := &subscriber{ch: make(chan Event, buf+1)} // +1: reserved lagged slot
+	if h.closed {
+		close(s.ch)
+		return backlog, s.ch, func() {}
+	}
+	h.subs = append(h.subs, s)
+	return backlog, s.ch, func() { h.unsubscribe(s) }
+}
+
+// unsubscribe detaches s; safe to call more than once and after close.
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, cur := range h.subs {
+		if cur == s {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// close ends the stream: every subscriber still in arrears gets its
+// final lagged marker (the reserved channel slot guarantees it fits),
+// then its channel is closed. Further publishes are dropped.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for _, s := range h.subs {
+		if s.dropped > 0 {
+			s.ch <- Event{Seq: -1, Kind: KindLagged, Dropped: s.dropped}
+		}
+		close(s.ch)
+	}
+	h.subs = nil
+}

@@ -2,7 +2,9 @@ package resultstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime/debug"
@@ -44,6 +46,12 @@ type Store struct {
 	producer string
 
 	hits, misses, writes, writeErrors atomic.Int64
+
+	// afterMkdir, when non-nil, runs between writeEntry's MkdirAll and
+	// its CreateTemp. Tests use it to interleave a GC sweep into the
+	// write's vulnerable window deterministically; production stores
+	// leave it nil.
+	afterMkdir func(dir string)
 }
 
 // Counters reports what one Store handle observed (process-local, not
@@ -173,10 +181,28 @@ func (st *Store) put(s Spec, res sim.Result) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	path := st.path(k)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	err = st.writeEntry(path, k, data)
+	if errors.Is(err, fs.ErrNotExist) {
+		// A concurrent GC's empty-directory sweep can remove a freshly
+		// created shard directory between this writer's MkdirAll and its
+		// rename. Retrying re-creates the directory, and the sweep never
+		// touches a non-empty one, so a single retry closes the race.
+		err = st.writeEntry(path, k, data)
+	}
+	return err
+}
+
+// writeEntry performs one atomic create-temp-then-rename attempt for an
+// entry file, creating its shard directory first.
+func (st *Store) writeEntry(path string, k Key, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+string(k[:8])+".tmp*")
+	if st.afterMkdir != nil {
+		st.afterMkdir(dir)
+	}
+	tmp, err := os.CreateTemp(dir, "."+string(k[:8])+".tmp*")
 	if err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}

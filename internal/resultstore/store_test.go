@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -488,5 +489,106 @@ func TestGCSweepsOrphanedTempFiles(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("gc must keep the valid entry, have %d", len(entries))
+	}
+}
+
+// TestPutSurvivesGCDirectorySweep reproduces the GC/writer race
+// deterministically: the afterMkdir hook removes the freshly created —
+// still empty — shard directory between Put's MkdirAll and its
+// CreateTemp, exactly what a concurrent GC's empty-directory sweep
+// does. The retried write must land the entry anyway. On the
+// pre-retry writer this fails with a "no such file or directory"
+// write error.
+func TestPutSurvivesGCDirectorySweep(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept := 0
+	st.afterMkdir = func(dir string) {
+		if swept > 0 {
+			return
+		}
+		swept++
+		if err := os.Remove(dir); err != nil {
+			t.Errorf("sweeping the empty shard directory: %v", err)
+		}
+	}
+	sp := mustSpec(t, testConfig(t))
+	if err := st.Put(sp, testResult()); err != nil {
+		t.Fatalf("Put against a concurrent directory sweep = %v, want success after one retry", err)
+	}
+	if swept != 1 {
+		t.Fatalf("sweep hook fired %d times, want exactly one simulated GC", swept)
+	}
+	if _, ok := st.Get(sp); !ok {
+		t.Fatal("entry unreadable after the retried write")
+	}
+	if c := st.Counters(); c.Writes != 1 || c.WriteErrors != 0 {
+		t.Fatalf("counters after retried write = %+v, want one clean write", c)
+	}
+}
+
+// TestGCAgainstParallelPuts stress-tests the writer/GC interleaving —
+// run under -race in CI. Writers install distinct entries while a GC
+// loop sweeps continuously; every Put must succeed and every entry
+// must be readable afterwards.
+func TestGCAgainstParallelPuts(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 4
+	const perWriter = 8
+	specs := make([]Spec, writers*perWriter)
+	for i := range specs {
+		cfg := testConfig(t)
+		cfg.Seed = uint64(i + 1)
+		specs[i] = mustSpec(t, cfg)
+	}
+	res := testResult()
+
+	stop := make(chan struct{})
+	var gcWG sync.WaitGroup
+	gcWG.Add(1)
+	go func() {
+		defer gcWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := st.GC(); err != nil {
+				t.Errorf("concurrent GC: %v", err)
+				return
+			}
+		}
+	}()
+
+	var putWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		putWG.Add(1)
+		go func(w int) {
+			defer putWG.Done()
+			for i := 0; i < perWriter; i++ {
+				sp := specs[w*perWriter+i]
+				if err := st.Put(sp, res); err != nil {
+					t.Errorf("writer %d: Put: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	putWG.Wait()
+	close(stop)
+	gcWG.Wait()
+
+	for i, sp := range specs {
+		if _, ok := st.Get(sp); !ok {
+			t.Errorf("entry %d missing after concurrent GC", i)
+		}
+	}
+	if c := st.Counters(); c.WriteErrors != 0 {
+		t.Fatalf("counters = %+v, want zero write errors", c)
 	}
 }

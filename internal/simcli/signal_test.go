@@ -1,0 +1,100 @@
+package simcli
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextHelper is the subprocess body for
+// TestSecondSignalKillsProcess: it installs SignalContext, announces
+// readiness, and — once the first signal cancels the context —
+// simulates a graceful drain that takes far longer than the test
+// allows. Only a second, uncaught signal can end it in time.
+func TestSignalContextHelper(t *testing.T) {
+	if os.Getenv("IMPRESS_SIGNAL_HELPER") != "1" {
+		t.Skip("helper body; run via TestSecondSignalKillsProcess")
+	}
+	ctx, cancel := SignalContext()
+	defer cancel()
+	fmt.Println("ready")
+	<-ctx.Done()
+	fmt.Println("draining")
+	time.Sleep(time.Minute)
+	fmt.Println("drained")
+}
+
+// TestSecondSignalKillsProcess pins the two-signal contract: the first
+// SIGTERM cancels the context (graceful drain), and a second SIGTERM
+// during the drain kills the process because the handler unregistered
+// itself. On the old signal.NotifyContext implementation the second
+// signal is caught and discarded, the helper sleeps out its full
+// drain, and this test times out waiting for it to die.
+func TestSecondSignalKillsProcess(t *testing.T) {
+	cmd := exec.Command(os.Args[0], "-test.run=TestSignalContextHelper$")
+	cmd.Env = append(os.Environ(), "IMPRESS_SIGNAL_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	lines := make(chan string)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	waitLine := func(want string) {
+		t.Helper()
+		deadline := time.After(15 * time.Second)
+		for {
+			select {
+			case line, ok := <-lines:
+				if !ok {
+					t.Fatalf("helper exited before printing %q", want)
+				}
+				if line == want {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("timed out waiting for helper to print %q", want)
+			}
+		}
+	}
+
+	waitLine("ready")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("draining")
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		var exitErr *exec.ExitError
+		if !errors.As(err, &exitErr) {
+			t.Fatalf("helper exited without an error (%v); the second SIGTERM must kill it", err)
+		}
+		ws, ok := exitErr.Sys().(syscall.WaitStatus)
+		if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGTERM {
+			t.Fatalf("helper exit state = %v, want death by SIGTERM", exitErr)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("helper survived the second SIGTERM — the handler swallowed it")
+	}
+}

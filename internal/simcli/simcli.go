@@ -192,10 +192,26 @@ func (f *Flags) ApplyTrace(cfg *sim.Config, fs *flag.FlagSet, path string) (*tra
 // SignalContext returns a context cancelled by SIGINT/SIGTERM — the
 // CLIs' root context, so ctrl-C stops a run at its next cancellation
 // point (one simulation macro cycle, one sweep spec) instead of killing
-// the process mid-write. The second signal falls through to the default
-// handler (hard kill), per signal.NotifyContext semantics.
+// the process mid-write. The handler unregisters itself on the first
+// delivery, restoring the default disposition, so a second ctrl-C
+// during a slow graceful drain force-kills the process instead of
+// being swallowed (signal.NotifyContext keeps catching — and
+// discarding — signals until its stop func runs, which a drain-then-
+// exit CLI never reaches while draining).
 func SignalContext() (context.Context, context.CancelFunc) {
-	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+			signal.Stop(ch)
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+		}
+	}()
+	return ctx, cancel
 }
 
 // Counts accumulates a Lab's progress events for the CLI summary lines.
