@@ -190,11 +190,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 // cacheSummary renders the one-line store accounting emitted (on stderr)
 // after any cached run: "simulated=0" is the signature of a fully warm
 // sweep. The simulated count comes from the Lab's progress stream (one
-// ProgressSpecFinished per actual simulation).
+// ProgressSpecFinished per actual simulation); warmups-restored counts
+// the simulations that skipped warmup by restoring a cached checkpoint.
 func cacheSummary(counts *simcli.Counts, store *resultstore.Store) string {
 	c := store.Counters()
-	return fmt.Sprintf("[cache] simulated=%d hits=%d misses=%d writes=%d write-errors=%d dir=%s",
-		counts.Simulated, c.Hits, c.Misses, c.Writes, c.WriteErrors, store.Dir())
+	return fmt.Sprintf("[cache] simulated=%d warmups-restored=%d hits=%d misses=%d writes=%d write-errors=%d ckpt-writes=%d dir=%s",
+		counts.Simulated, counts.WarmupsRestored, c.Hits, c.Misses, c.Writes, c.WriteErrors, c.CheckpointWrites, store.Dir())
 }
 
 // parseShard parses a 1-based "i/n" shard spec, rejecting anything but
@@ -344,6 +345,20 @@ func cacheVerify(ctx context.Context, store *resultstore.Store, sample int, stdo
 		fmt.Fprintln(stdout, "verify: store is empty")
 		return 0
 	}
+	// Checkpoint records cache warmup state, not results — there is
+	// nothing to re-simulate and compare, so verify samples only the
+	// result entries.
+	results := entries[:0]
+	for _, e := range entries {
+		if e.Kind == "" {
+			results = append(results, e)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(stdout, "verify: store holds no result entries (checkpoints only)")
+		return 0
+	}
+	entries = results
 	picked := sampleEntries(entries, sample)
 	mismatches, skipped := 0, 0
 	for _, e := range picked {

@@ -125,7 +125,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
-	simcli.ReportCacheOutcome(stderr, store, counts.CacheHits > 0)
+	simcli.ReportCacheOutcome(stderr, store, &counts)
 	fmt.Fprintf(stdout, "workload:        %s\n", res.Workload)
 	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)
 	return 0

@@ -354,7 +354,7 @@ func runReplay(ctx context.Context, args []string, stdout, stderr io.Writer) int
 		}
 		return 1
 	}
-	simcli.ReportCacheOutcome(stderr, store, counts.CacheHits > 0)
+	simcli.ReportCacheOutcome(stderr, store, &counts)
 	h := t.Header()
 	fmt.Fprintf(stdout, "trace:           %s (%d cores, seed %d)\n", h.Name, h.Cores, h.Seed)
 	simcli.PrintResult(stdout, res, design, simFlags.Tracker, simFlags.TRH)

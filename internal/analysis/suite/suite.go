@@ -62,9 +62,13 @@ var legacyNoCtx = []string{
 	"ExperimentTRH", "ExperimentRFM", "NewExperimentRunner",
 	"QuickScale", "StandardScale", "FullScale",
 
-	// Lab construction and options.
+	// Lab construction and options. WithMaxRelError/WithCIAnnotations
+	// (PR 9 review): pure option constructors for the sampled clock —
+	// they record configuration, the runs they shape go through the
+	// ctx-first Lab methods.
 	"NewLab", "WithStore", "WithResultStore",
 	"WithParallelism", "WithClock", "WithProgress",
+	"WithMaxRelError", "WithCIAnnotations",
 	"ExperimentsOnly", "ExperimentsAnalytical", "ExperimentsOnTable",
 
 	// Sweep-service client construction (PR 8 review): a pure

@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"fmt"
+
+	"impress/internal/errs"
+)
+
+// Snapshot is a serializable image of a cache's mutable state: the
+// packed line array (tag/valid/dirty/RRPV words) plus the statistics
+// counters. Geometry (sets, ways, shifts) is derived from Config at
+// construction and is not part of the snapshot.
+type Snapshot struct {
+	Lines      []uint64 `json:"-"` // carried out of band (compressed) by the checkpoint layer
+	Hits       uint64   `json:"hits,omitempty"`
+	Misses     uint64   `json:"misses,omitempty"`
+	Evictions  uint64   `json:"evictions,omitempty"`
+	Writebacks uint64   `json:"writebacks,omitempty"`
+}
+
+// Snapshot captures the cache's mutable state for a warmup checkpoint.
+func (c *Cache) Snapshot() Snapshot {
+	lines := make([]uint64, len(c.lines))
+	for i, l := range c.lines {
+		lines[i] = uint64(l)
+	}
+	return Snapshot{
+		Lines:      lines,
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Writebacks: c.writebacks,
+	}
+}
+
+// Restore overwrites the cache's mutable state with a snapshot. The
+// cache must have been constructed with the same Config that produced
+// the snapshot (same total line count).
+func (c *Cache) Restore(s Snapshot) error {
+	if len(s.Lines) != len(c.lines) {
+		return fmt.Errorf("cache: %w: checkpoint has %d lines, cache has %d",
+			errs.ErrBadSpec, len(s.Lines), len(c.lines))
+	}
+	for i, l := range s.Lines {
+		c.lines[i] = line(l)
+	}
+	c.hits = s.Hits
+	c.misses = s.Misses
+	c.evictions = s.Evictions
+	c.writebacks = s.Writebacks
+	return nil
+}

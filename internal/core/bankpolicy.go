@@ -33,6 +33,24 @@ type BankPolicy interface {
 	// event-driven clock must not skip past this horizon while the bank's
 	// row is open.
 	NextEvent() dram.Tick
+	// Snapshot captures the policy's mutable state for a warmup
+	// checkpoint; Restore overwrites it. Stateless policies return the
+	// zero PolicyState and ignore Restore.
+	Snapshot() PolicyState
+	Restore(PolicyState)
+}
+
+// PolicyState is a serializable snapshot of a bank policy's mutable
+// state. Only ImPress-N carries any: the window timer and the ORA/open
+// registers of Fig. 9. The tRC window length itself is configuration,
+// not state, and is rebuilt from the design.
+type PolicyState struct {
+	NextBoundary dram.Tick `json:"nextBoundary,omitempty"`
+	ORA          int64     `json:"ora,omitempty"`
+	ORAValid     bool      `json:"oraValid,omitempty"`
+	OpenRow      int64     `json:"openRow,omitempty"`
+	OpenValid    bool      `json:"openValid,omitempty"`
+	OpenAt       dram.Tick `json:"openAt,omitempty"`
 }
 
 // NewBankPolicy creates the per-bank state machine for d.
@@ -68,6 +86,10 @@ func (p *perActPolicy) Advance(dram.Tick) []Event { return nil }
 
 func (p *perActPolicy) NextEvent() dram.Tick { return dram.TickMax }
 
+func (p *perActPolicy) Snapshot() PolicyState { return PolicyState{} }
+
+func (p *perActPolicy) Restore(PolicyState) {}
+
 // impressPPolicy implements ImPress-P: nothing at ACT; the full access is
 // charged at PRE, weighted by EACT = (tON + tPRE)/tRC at the configured
 // precision (Fig. 11).
@@ -84,6 +106,10 @@ func (p *impressPPolicy) OnPrecharge(_ dram.Tick, row int64, tON dram.Tick) []Ev
 func (p *impressPPolicy) Advance(dram.Tick) []Event { return nil }
 
 func (p *impressPPolicy) NextEvent() dram.Tick { return dram.TickMax }
+
+func (p *impressPPolicy) Snapshot() PolicyState { return PolicyState{} }
+
+func (p *impressPPolicy) Restore(PolicyState) {}
 
 // impressNPolicy implements ImPress-N's Timer + ORA register pair
 // (Fig. 9): time is divided into global windows of tRC; at each window
@@ -159,3 +185,23 @@ func (p *impressNPolicy) Advance(now dram.Tick) []Event {
 }
 
 func (p *impressNPolicy) NextEvent() dram.Tick { return p.nextBoundary }
+
+func (p *impressNPolicy) Snapshot() PolicyState {
+	return PolicyState{
+		NextBoundary: p.nextBoundary,
+		ORA:          p.ora,
+		ORAValid:     p.oraValid,
+		OpenRow:      p.openRow,
+		OpenValid:    p.openValid,
+		OpenAt:       p.openAt,
+	}
+}
+
+func (p *impressNPolicy) Restore(s PolicyState) {
+	p.nextBoundary = s.NextBoundary
+	p.ora = s.ORA
+	p.oraValid = s.ORAValid
+	p.openRow = s.OpenRow
+	p.openValid = s.OpenValid
+	p.openAt = s.OpenAt
+}

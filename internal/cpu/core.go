@@ -112,6 +112,13 @@ type Core struct {
 	nextMemPos int64
 	havePeek   bool
 
+	// drawn counts generator Next() calls, so a checkpoint restore can
+	// fast-forward a freshly built generator to the same stream position
+	// (generators may consume a variable number of RNG draws per request,
+	// so the call count — not the instruction count — is the replayable
+	// coordinate).
+	drawn int64
+
 	// rob holds in-flight memory ops in program order; plain instructions
 	// are implicit between their positions.
 	rob []*MemOp
@@ -197,6 +204,7 @@ func (c *Core) IPC() float64 {
 
 func (c *Core) peek() {
 	req := c.gen.Next()
+	c.drawn++
 	c.nextMemPos = c.fetched + int64(req.Gap)
 	// Position relative to the stream: Gap instructions precede the op.
 	// If we already fetched past (shouldn't happen), clamp.

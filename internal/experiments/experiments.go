@@ -138,10 +138,20 @@ type Runner struct {
 	// duplicate).
 	Parallelism int
 	// Clock selects the simulator clocking for every spec this runner
-	// materializes (results are bit-identical across modes, and the
-	// result-store key excludes the mode, so this changes speed and
-	// cross-checking — lockstep — not output).
+	// materializes. The exact modes (event-driven, cycle-accurate,
+	// lockstep) are bit-identical and share result-store keys, so among
+	// them this changes speed and cross-checking only. ClockSampled is
+	// explicitly approximate: its results carry confidence intervals and
+	// are keyed separately in the store (resultstore.Spec.Sampled), so a
+	// sampled sweep can never contaminate exact baselines.
 	Clock sim.ClockMode
+	// MaxRelError is the sampled clock's statistical early-stop
+	// threshold (sim.Config.MaxRelError); ignored by the exact modes.
+	MaxRelError float64
+	// AnnotateCI, with the sampled clock, appends a confidence-interval
+	// annotation block after each experiment table. Off by default so
+	// exact-mode golden tables stay byte-identical.
+	AnnotateCI bool
 	// Store, when non-nil, is the persistent result cache consulted
 	// before every simulation and written back after. The in-memory memo
 	// and the store share one canonical key (resultstore.SpecFor over the
@@ -350,13 +360,27 @@ func (s RunSpec) config(scale Scale) sim.Config {
 	return cfg
 }
 
+// config materializes the full sim configuration for one run under this
+// runner's scale and clocking. It is the single materialization path:
+// both the store key (storeSpec) and the executed run derive from it, so
+// the key always describes exactly the run that produced the result —
+// in particular, sampled runs key with their Sampled/MaxRelError fields.
+func (r *Runner) config(spec RunSpec) sim.Config {
+	cfg := spec.config(r.Scale)
+	cfg.Clock = r.Clock
+	if r.Clock == sim.ClockSampled {
+		cfg.MaxRelError = r.MaxRelError
+	}
+	return cfg
+}
+
 // storeSpec materializes the canonical resultstore spec for one run at
 // this runner's scale. It is the single key-derivation path: the memo
 // cache keys on storeSpec(spec).Key() and the persistent store looks up
 // the identical Spec, so an in-memory hit and an on-disk hit can never
 // name different simulations.
 func (r *Runner) storeSpec(spec RunSpec) resultstore.Spec {
-	sp, err := resultstore.SpecFor(spec.config(r.Scale))
+	sp, err := resultstore.SpecFor(r.config(spec))
 	if err != nil {
 		// Unreachable: SpecFor fails only for trace-file replays, which
 		// RunSpec cannot express.
@@ -427,15 +451,18 @@ func (r *Runner) Run(spec RunSpec) sim.Result {
 			return e.res
 		}
 	}
-	cfg := spec.config(r.Scale)
-	cfg.Clock = r.Clock
+	cfg := r.config(spec)
+	var restored bool
+	if r.Store != nil {
+		restored = r.Store.AttachCheckpoints(&cfg)
+	}
 	res, err := sim.RunContext(r.runCtx(), cfg)
 	if err != nil {
 		panic(&runAbort{fmt.Errorf("experiments: %s: %w", label, err)})
 	}
 	e.res = res
 	r.sims.Add(1)
-	r.emit(Progress{Kind: ProgressSpecFinished, Spec: label, Key: k, Cycles: res.Cycles})
+	r.emit(Progress{Kind: ProgressSpecFinished, Spec: label, Key: k, Cycles: res.Cycles, WarmupRestored: restored})
 	if r.Store != nil {
 		// A write failure costs persistence, not correctness; it is
 		// counted in the store's Counters for the CLI summary line.

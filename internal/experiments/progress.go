@@ -56,6 +56,9 @@ type Progress struct {
 	Key string
 	// Cycles is the simulated cycle count (ProgressSpecFinished only).
 	Cycles int64
+	// WarmupRestored reports that the run skipped warmup by restoring a
+	// cached checkpoint (ProgressSpecFinished only).
+	WarmupRestored bool
 	// Table is the experiment ID (ProgressTableRendered only).
 	Table string
 }
@@ -66,6 +69,9 @@ func (p Progress) String() string {
 	case ProgressTableRendered:
 		return fmt.Sprintf("table %s rendered", p.Table)
 	case ProgressSpecFinished:
+		if p.WarmupRestored {
+			return fmt.Sprintf("spec %s %s cycles=%d warmup=restored", p.Spec, p.Kind, p.Cycles)
+		}
 		return fmt.Sprintf("spec %s %s cycles=%d", p.Spec, p.Kind, p.Cycles)
 	default:
 		return fmt.Sprintf("spec %s %s", p.Spec, p.Kind)

@@ -128,6 +128,9 @@ func RunTables(ctx context.Context, r *Runner, opts RunOptions) (tables []*Table
 	for _, d := range selected {
 		r.checkCtx()
 		t := d.Build(r)
+		if r.AnnotateCI && d.Specs != nil {
+			annotateCI(r, d, t)
+		}
 		r.emit(Progress{Kind: ProgressTableRendered, Table: t.ID})
 		if opts.OnTable != nil {
 			opts.OnTable(t)
@@ -215,6 +218,46 @@ func SpecsFor(r *Runner, opts RunOptions) (specs []RunSpec, err error) {
 		}
 	}
 	return specs, nil
+}
+
+// annotateCI appends a confidence-interval summary note to a
+// simulation-backed table assembled from sampled runs: the worst
+// (largest) 95% relative half-width over the table's spec universe for
+// each tracked metric, plus the early-stop count. Every spec is memoized
+// by the Build that just ran, so the Run calls here are pure memo hits.
+// Exact-mode results carry no estimates and contribute nothing, which
+// keeps default-mode table output byte-identical even with the flag set.
+func annotateCI(r *Runner, d Definition, t *Table) {
+	seen := make(map[string]bool)
+	var n, early int
+	var worstIPC, worstACT float64
+	for _, s := range d.Specs(r) {
+		k := string(r.storeSpec(s).Key())
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		est := r.Run(s).Estimates
+		if est == nil {
+			continue
+		}
+		n++
+		if est.EarlyStopped {
+			early++
+		}
+		if est.WeightedIPC.RelError > worstIPC {
+			worstIPC = est.WeightedIPC.RelError
+		}
+		if est.ACTsPerKilo.RelError > worstACT {
+			worstACT = est.ACTsPerKilo.RelError
+		}
+	}
+	if n == 0 {
+		return
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"sampled estimates, 95%% CI: worst rel. half-width IPC %.2f%%, ACTs %.2f%% across %d runs (%d early-stopped)",
+		100*worstIPC, 100*worstACT, n, early))
 }
 
 // AllContext regenerates every table and figure under a context; see

@@ -124,6 +124,30 @@ func (s Stats) Sub(other Stats) Stats {
 	}
 }
 
+// Scale returns s with every counter multiplied by f (rounded to
+// nearest), for extrapolating sampled-interval measurements to a full
+// run. Like Add and Sub it is a hand-maintained field list; the
+// exhaustiveness test fails if a counter is missing.
+func (s Stats) Scale(f float64) Stats {
+	scale := func(v uint64) uint64 { return uint64(float64(v)*f + 0.5) }
+	return Stats{
+		Reads:          scale(s.Reads),
+		Writes:         scale(s.Writes),
+		RowHits:        scale(s.RowHits),
+		RowMisses:      scale(s.RowMisses),
+		RowConflicts:   scale(s.RowConflicts),
+		DemandACTs:     scale(s.DemandACTs),
+		MitigativeACTs: scale(s.MitigativeACTs),
+		Mitigations:    scale(s.Mitigations),
+		RFMs:           scale(s.RFMs),
+		Refreshes:      scale(s.Refreshes),
+		ForcedClosures: scale(s.ForcedClosures),
+		IdleClosures:   scale(s.IdleClosures),
+		ReadLatencySum: scale(s.ReadLatencySum),
+		SyntheticACTs:  scale(s.SyntheticACTs),
+	}
+}
+
 // starvationTicks is the FR-FCFS anti-starvation age cap: a request older
 // than this gets exclusive service priority (2 microseconds).
 const starvationTicks = dram.Tick(2000 * dram.TicksPerNs)
@@ -297,6 +321,19 @@ func New(cfg Config) *Controller {
 
 // Map exposes the address mapping.
 func (c *Controller) Map(addr uint64) Location { return c.cfg.Mapper.Map(addr) }
+
+// DropQueued discards every queued demand request in every channel. The
+// sampled clock's quiesce calls it after force-completing all in-flight
+// line fetches: the dropped reads' MSHRs are already satisfied, and the
+// dropped writes model work the fast-forwarded gap skips. In-service
+// bank timing, defense and tracker state are untouched — the next
+// detailed window continues from them.
+func (c *Controller) DropQueued() {
+	for _, cc := range c.channels {
+		cc.readQ = cc.readQ[:0]
+		cc.writeQ = cc.writeQ[:0]
+	}
+}
 
 // CanPush reports whether channel loc.Channel can accept another request
 // of the given kind.

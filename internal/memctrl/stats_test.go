@@ -51,4 +51,24 @@ func TestStatsAddSubCoverEveryField(t *testing.T) {
 				ty.Field(i).Name, got, want)
 		}
 	}
+
+	// Scale is a third hand-maintained field list (sampled-mode
+	// extrapolation: Result.Mem = measured.Scale(run/measured)). A field
+	// dropped from Scale comes back 0 under any nonzero factor, and a
+	// field accidentally scaled twice would break the identity factor, so
+	// check both f=1 (identity) and f=3 (triple) per field.
+	iv := reflect.ValueOf(probe.Scale(1))
+	for i := 0; i < iv.NumField(); i++ {
+		if got, want := iv.Field(i).Uint(), v.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Scale(1) is not the identity on field %s (got %d, want %d)",
+				ty.Field(i).Name, got, want)
+		}
+	}
+	tv := reflect.ValueOf(probe.Scale(3))
+	for i := 0; i < tv.NumField(); i++ {
+		if got, want := tv.Field(i).Uint(), 3*v.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Scale(3) drops or mis-scales field %s (got %d, want %d)",
+				ty.Field(i).Name, got, want)
+		}
+	}
 }

@@ -75,6 +75,16 @@ type Spec struct {
 	Warmup int64  `json:"warmup"`
 	Run    int64  `json:"run"`
 	Seed   uint64 `json:"seed,omitempty"`
+
+	// Sampled marks a ClockSampled run. The sampled clock breaks the
+	// "all clock modes are bit-identical" contract that lets the exact
+	// modes share entries, so sampled results are keyed separately; the
+	// omitempty tags keep every exact-mode preimage — and therefore every
+	// existing store key — byte-identical to pre-sampling builds.
+	Sampled bool `json:"sampled,omitempty"`
+	// MaxRelError is the sampled run's early-stop threshold: it changes
+	// how many intervals are measured, hence the result.
+	MaxRelError float64 `json:"maxRelError,omitempty"`
 }
 
 // Key is the content address of a Spec: a lowercase hex sha256.
@@ -113,6 +123,10 @@ func SpecFor(cfg sim.Config) (Spec, error) {
 		Seed:       cfg.Seed,
 	}
 	s.CPU.NoFastPath = false
+	if cfg.Clock == sim.ClockSampled {
+		s.Sampled = true
+		s.MaxRelError = cfg.MaxRelError
+	}
 	if cfg.TraceFile != "" {
 		// Hash by streaming: trace files can exceed RAM (the whole replay
 		// pipeline is built not to materialize them), and the key
@@ -169,7 +183,7 @@ func (s Spec) Config() (sim.Config, error) {
 	if err != nil {
 		return sim.Config{}, fmt.Errorf("resultstore: %w", err)
 	}
-	return sim.Config{
+	cfg := sim.Config{
 		Workload:           w,
 		Cores:              s.Cores,
 		CPU:                s.CPU,
@@ -182,5 +196,36 @@ func (s Spec) Config() (sim.Config, error) {
 		WarmupInstructions: s.Warmup,
 		RunInstructions:    s.Run,
 		Seed:               s.Seed,
-	}, nil
+	}
+	if s.Sampled {
+		cfg.Clock = sim.ClockSampled
+		cfg.MaxRelError = s.MaxRelError
+	}
+	return cfg, nil
+}
+
+// ckptPreamble domain-separates checkpoint keys from result keys: the
+// same spec addresses both a result entry and a warmup-checkpoint entry,
+// and the two must never collide.
+const ckptPreamble = "impress-resultstore/ckpt/v1\n"
+
+// checkpointSpec reduces the spec to the fields that determine the
+// post-warmup state: the run budget and the sampling fields only affect
+// what happens after the warmup boundary, so specs differing only there
+// share one checkpoint.
+func (s Spec) checkpointSpec() Spec {
+	s.Run = 0
+	s.Sampled = false
+	s.MaxRelError = 0
+	return s
+}
+
+// CheckpointKey returns the content address of the spec's warmup
+// checkpoint. Specs that differ only in run budget or sampling fields
+// map to the same key (see checkpointSpec).
+func (s Spec) CheckpointKey() Key {
+	h := sha256.New()
+	h.Write([]byte(ckptPreamble))
+	h.Write(s.checkpointSpec().canonicalJSON())
+	return Key(hex.EncodeToString(h.Sum(nil)))
 }

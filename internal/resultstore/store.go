@@ -16,25 +16,39 @@ import (
 	"impress/internal/sim"
 )
 
-// record is the on-disk JSON form of one cached result. Spec is stored in
+// KindCheckpoint marks a warmup-checkpoint record (Entry.Kind); result
+// records carry the empty kind, which keeps every pre-kind entry file —
+// they have no kind field at all — readable as a result record.
+const KindCheckpoint = "checkpoint"
+
+// record is the on-disk JSON form of one cached entry. Spec is stored in
 // full (not just its hash) so Get can reject hash collisions and `cache
 // verify` can re-simulate the entry without any out-of-band state.
 type record struct {
 	// Format is the record layout version; readers treat any other value
 	// as a miss (see FormatVersion).
 	Format int `json:"format"`
+	// Kind discriminates record payloads: empty for simulation results
+	// (the only kind that existed before checkpoints, so legacy entries
+	// decode as results), KindCheckpoint for warmup checkpoints.
+	Kind string `json:"kind,omitempty"`
 	// Key is the spec's content address, duplicated from the filename so
-	// a renamed or mis-copied entry is detectably inconsistent.
+	// a renamed or mis-copied entry is detectably inconsistent. Result
+	// records use Spec.Key, checkpoint records Spec.CheckpointKey.
 	Key Key `json:"key"`
-	// Spec is the full canonical run description (the key preimage).
+	// Spec is the full canonical run description (the key preimage). In
+	// checkpoint records it is the reduced checkpoint spec (run budget
+	// and sampling fields cleared).
 	Spec Spec `json:"spec"`
 	// Producer identifies the build that simulated the entry (VCS
 	// revision when available). Informational only: it never invalidates
 	// an entry — FormatVersion does that — but `cache stats` reports it
 	// and `cache verify` prints it for mismatching entries.
 	Producer string `json:"producer"`
-	// Result is the cached simulation output.
+	// Result is the cached simulation output (result records only).
 	Result sim.Result `json:"result"`
+	// Payload is the encoded warmup checkpoint (checkpoint records only).
+	Payload []byte `json:"payload,omitempty"`
 }
 
 // Store is an on-disk, content-addressed cache of simulation results.
@@ -46,6 +60,7 @@ type Store struct {
 	producer string
 
 	hits, misses, writes, writeErrors atomic.Int64
+	ckptHits, ckptMisses, ckptWrites  atomic.Int64
 
 	// afterMkdir, when non-nil, runs between writeEntry's MkdirAll and
 	// its CreateTemp. Tests use it to interleave a GC sweep into the
@@ -57,9 +72,14 @@ type Store struct {
 // Counters reports what one Store handle observed (process-local, not
 // persisted): Hits/Misses count Get outcomes, Writes successful Puts, and
 // WriteErrors Puts that failed (the result is still returned to the
-// caller; only its persistence was lost).
+// caller; only its persistence was lost). The Checkpoint counters track
+// the warmup-checkpoint cache separately — a checkpoint hit saves warmup
+// simulation, not a whole run, so lumping the two would make the result
+// hit rate meaningless.
 type Counters struct {
 	Hits, Misses, Writes, WriteErrors int64
+
+	CheckpointHits, CheckpointMisses, CheckpointWrites int64
 }
 
 // Open returns a Store rooted at dir, creating the directory if needed.
@@ -110,10 +130,13 @@ func (st *Store) Dir() string { return st.dir }
 // Counters returns this handle's hit/miss/write counts.
 func (st *Store) Counters() Counters {
 	return Counters{
-		Hits:        st.hits.Load(),
-		Misses:      st.misses.Load(),
-		Writes:      st.writes.Load(),
-		WriteErrors: st.writeErrors.Load(),
+		Hits:             st.hits.Load(),
+		Misses:           st.misses.Load(),
+		Writes:           st.writes.Load(),
+		WriteErrors:      st.writeErrors.Load(),
+		CheckpointHits:   st.ckptHits.Load(),
+		CheckpointMisses: st.ckptMisses.Load(),
+		CheckpointWrites: st.ckptWrites.Load(),
 	}
 }
 
@@ -130,7 +153,7 @@ func (st *Store) path(k Key) string {
 // miss, never an error: the caller simulates and overwrites.
 func (st *Store) Get(s Spec) (sim.Result, bool) {
 	rec, ok := readRecord(st.path(s.Key()))
-	if !ok || string(rec.Spec.canonicalJSON()) != string(s.canonicalJSON()) {
+	if !ok || rec.Kind != "" || string(rec.Spec.canonicalJSON()) != string(s.canonicalJSON()) {
 		st.misses.Add(1)
 		return sim.Result{}, false
 	}
@@ -139,7 +162,9 @@ func (st *Store) Get(s Spec) (sim.Result, bool) {
 }
 
 // readRecord loads and validates one entry file; ok is false for any
-// structural problem (treated by callers as a miss).
+// structural problem (treated by callers as a miss). Validation is
+// kind-aware: each kind's key must match its own derivation, and a
+// checkpoint without a payload (or an unknown kind entirely) is invalid.
 func readRecord(path string) (record, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -152,10 +177,60 @@ func readRecord(path string) (record, bool) {
 	if rec.Format != FormatVersion {
 		return record{}, false
 	}
-	if rec.Key != rec.Spec.Key() {
+	switch rec.Kind {
+	case "":
+		if rec.Key != rec.Spec.Key() || len(rec.Payload) != 0 {
+			return record{}, false
+		}
+	case KindCheckpoint:
+		if rec.Key != rec.Spec.CheckpointKey() || len(rec.Payload) == 0 {
+			return record{}, false
+		}
+	default:
 		return record{}, false
 	}
 	return rec, true
+}
+
+// GetCheckpoint returns the cached warmup checkpoint for spec s, if
+// present. Like Get, every failure mode is a miss, never an error.
+func (st *Store) GetCheckpoint(s Spec) ([]byte, bool) {
+	cs := s.checkpointSpec()
+	rec, ok := readRecord(st.path(cs.CheckpointKey()))
+	if !ok || rec.Kind != KindCheckpoint ||
+		string(rec.Spec.canonicalJSON()) != string(cs.canonicalJSON()) {
+		st.ckptMisses.Add(1)
+		return nil, false
+	}
+	st.ckptHits.Add(1)
+	return rec.Payload, true
+}
+
+// PutCheckpoint stores the encoded warmup checkpoint for spec s. Writes
+// are atomic with the same guarantees as Put.
+func (st *Store) PutCheckpoint(s Spec, payload []byte) error {
+	cs := s.checkpointSpec()
+	k := cs.CheckpointKey()
+	rec := record{
+		Format: FormatVersion, Kind: KindCheckpoint, Key: k,
+		Spec: cs, Producer: st.producer, Payload: payload,
+	}
+	data, err := json.MarshalIndent(rec, "", " ")
+	if err != nil {
+		st.writeErrors.Add(1)
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	path := st.path(k)
+	err = st.writeEntry(path, k, data)
+	if errors.Is(err, fs.ErrNotExist) {
+		err = st.writeEntry(path, k, data) // see put: concurrent-GC shard race
+	}
+	if err != nil {
+		st.writeErrors.Add(1)
+		return err
+	}
+	st.ckptWrites.Add(1)
+	return nil
 }
 
 // Put stores the result for spec s. The write is atomic (temp file +
@@ -226,6 +301,10 @@ func (st *Store) writeEntry(path string, k Key, data []byte) error {
 type Entry struct {
 	// Path is the entry's file within the store.
 	Path string
+	// Kind is the record kind: empty for results, KindCheckpoint for
+	// warmup checkpoints (which carry no Result; `cache verify` skips
+	// them).
+	Kind string
 	// Key is the entry's content address.
 	Key Key
 	// Spec is the canonical run description the entry caches.
@@ -352,7 +431,7 @@ func (st *Store) Entries() ([]Entry, error) {
 	err := st.walk(
 		func(path string, _ int64, rec record) {
 			entries = append(entries, Entry{
-				Path: path, Key: rec.Key, Spec: rec.Spec,
+				Path: path, Kind: rec.Kind, Key: rec.Key, Spec: rec.Spec,
 				Producer: rec.Producer, Result: rec.Result,
 			})
 		},

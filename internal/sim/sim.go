@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"impress/internal/cache"
 	"impress/internal/core"
@@ -56,6 +57,14 @@ const (
 	// macro cycle where their states diverge. ~2x the cost of
 	// ClockCycleAccurate; use it to localize clocking bugs.
 	ClockLockstep
+	// ClockSampled is the explicitly approximate mode: SMARTS-style
+	// interval sampling alternates short detailed windows (event-driven,
+	// exact) with functionally fast-forwarded gaps in which only the LLC
+	// is warmed and no time passes. Results are estimates with 95%
+	// confidence intervals (Result.Estimates) and are NOT bit-identical
+	// to the exact modes; the statistical validation tier
+	// (TestSampledErrorBounds) quantifies the error. See DESIGN.md §12.
+	ClockSampled
 )
 
 // Config describes one simulation run.
@@ -95,6 +104,28 @@ type Config struct {
 	// ClockEventDriven, which is bit-identical to ClockCycleAccurate and
 	// skips idle cycles.
 	Clock ClockMode
+
+	// MaxRelError, under ClockSampled, ends the measured run early once
+	// every tracked metric's 95% confidence half-width falls below this
+	// fraction of its mean (statistical early stop). Zero runs all
+	// sampling intervals. Ignored by the exact clock modes.
+	MaxRelError float64
+
+	// RestoreCheckpoint, when non-nil, is an encoded warmup checkpoint
+	// (EncodeCheckpoint) the run restores instead of simulating warmup.
+	// The checkpoint must have been captured by a run with the same spec
+	// up to the warmup boundary; restored runs are bit-identical to
+	// straight-through runs in every exact clock mode. A checkpoint that
+	// fails to decode or does not match the config is a typed error
+	// wrapping errs.ErrBadSpec.
+	RestoreCheckpoint []byte
+
+	// OnCheckpoint, when non-nil, receives the encoded post-warmup
+	// checkpoint of a straight-through run (it is not called when
+	// RestoreCheckpoint is set or warmup is zero). Capture failures —
+	// a tracker without snapshot support — skip the callback rather
+	// than failing the run.
+	OnCheckpoint func([]byte)
 }
 
 // Validate reports whether the config is a well-formed simulation
@@ -119,13 +150,29 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("sim: %w: unknown tracker %q", errs.ErrBadSpec, cfg.Tracker)
 	}
 	switch cfg.Clock {
-	case ClockEventDriven, ClockCycleAccurate, ClockLockstep:
+	case ClockEventDriven, ClockCycleAccurate, ClockLockstep, ClockSampled:
 	default:
 		return fmt.Errorf("sim: %w: unknown clock mode %d", errs.ErrBadSpec, cfg.Clock)
 	}
 	if cfg.WarmupInstructions < 0 || cfg.RunInstructions < 0 {
 		return fmt.Errorf("sim: %w: negative instruction budget (warmup %d, run %d)",
 			errs.ErrBadSpec, cfg.WarmupInstructions, cfg.RunInstructions)
+	}
+	if cfg.MaxRelError < 0 {
+		return fmt.Errorf("sim: %w: negative max relative error %v", errs.ErrBadSpec, cfg.MaxRelError)
+	}
+	if cfg.Clock == ClockSampled && cfg.RunInstructions < sampledIntervals*sampledMinPeriod {
+		return fmt.Errorf("sim: %w: sampled clock needs at least %d run instructions (got %d)",
+			errs.ErrBadSpec, sampledIntervals*sampledMinPeriod, cfg.RunInstructions)
+	}
+	if cfg.Clock == ClockSampled && strings.Contains(cfg.Workload.Name, "attack:") {
+		// The fast-forwarded gaps generate no DRAM activations, so the
+		// tracker and defense state an adversarial pattern exists to drive
+		// sees a fifth of the hammering — mitigative ACT counts and the
+		// attack core's slowdown come out wildly wrong, far outside the
+		// documented sampling bounds. Adversarial runs need an exact clock.
+		return fmt.Errorf("sim: %w: sampled clock cannot simulate adversarial workloads (%q): use an exact clock mode",
+			errs.ErrBadSpec, cfg.Workload.Name)
 	}
 	if err := cfg.Design.Validate(); err != nil {
 		return fmt.Errorf("sim: %w: %w", errs.ErrBadSpec, err)
@@ -165,6 +212,12 @@ type Result struct {
 	Mem            memctrl.Stats
 	LLCHitRate     float64
 	Cycles         int64
+
+	// Estimates carries sampled-mode confidence intervals; nil in the
+	// exact clock modes, so exact Result JSON (and the result-store
+	// records and golden tables built from it) is byte-identical to
+	// pre-sampling builds.
+	Estimates *SampledEstimates `json:",omitempty"`
 }
 
 // Perf returns the run's aggregate performance metric.
@@ -236,6 +289,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	s := newSimulator(cfg)
 	s.done = ctx.Done()
 	s.ctxErr = ctx.Err
+	if cfg.Clock == ClockSampled {
+		return s.runSampled()
+	}
 	return s.run()
 }
 
@@ -750,11 +806,8 @@ func (s *simulator) runUntilRetired(target int64) error {
 }
 
 func (s *simulator) run() (Result, error) {
-	// Warmup.
-	if s.cfg.WarmupInstructions > 0 {
-		if err := s.runUntilRetired(s.cfg.WarmupInstructions); err != nil {
-			return Result{}, err
-		}
+	if err := s.warmup(); err != nil {
+		return Result{}, err
 	}
 	memBase := s.mc.Stats()
 	for _, c := range s.cores {

@@ -37,6 +37,11 @@ type Flags struct {
 	Run      int64
 	Seed     uint64
 	Clock    string
+	// MaxRelError is the sampled-mode convergence target (-max-error):
+	// stop sampling early once every tracked metric's 95% CI relative
+	// half-width is at or below it. Zero keeps the fixed interval count;
+	// it only affects -clock sampled.
+	MaxRelError float64
 	// CacheDir is the persistent result-store directory (-cache-dir,
 	// defaulting to $IMPRESS_CACHE); empty disables caching.
 	CacheDir string
@@ -57,7 +62,9 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.Int64Var(&f.Run, "instructions", 500_000, "measured instructions per core")
 	fs.Uint64Var(&f.Seed, "seed", 1, "simulation seed")
 	fs.StringVar(&f.Clock, "clock", "event",
-		"clocking: event (skip idle cycles), cycle (tick every cycle), lockstep (cross-check both)")
+		"clocking: event (skip idle cycles), cycle (tick every cycle), lockstep (cross-check both), sampled (approximate interval sampling with 95% CIs)")
+	fs.Float64Var(&f.MaxRelError, "max-error", 0,
+		"sampled-mode convergence target: stop early once every metric's 95% CI relative half-width is at or below this (0 = fixed interval count)")
 	fs.StringVar(&f.CacheDir, "cache-dir", os.Getenv("IMPRESS_CACHE"),
 		"persistent result-store directory (default $IMPRESS_CACHE; empty disables caching)")
 	return f
@@ -81,8 +88,10 @@ func ParseClock(name string) (sim.ClockMode, error) {
 		return sim.ClockCycleAccurate, nil
 	case "lockstep":
 		return sim.ClockLockstep, nil
+	case "sampled":
+		return sim.ClockSampled, nil
 	default:
-		return 0, fmt.Errorf("unknown -clock %q (want event, cycle or lockstep)", name)
+		return 0, fmt.Errorf("unknown -clock %q (want event, cycle, lockstep or sampled)", name)
 	}
 }
 
@@ -104,6 +113,9 @@ func (f *Flags) Config(w trace.Workload) (sim.Config, core.Design, error) {
 	cfg.RunInstructions = f.Run
 	cfg.Seed = f.Seed
 	cfg.Clock = clock
+	if clock == sim.ClockSampled {
+		cfg.MaxRelError = f.MaxRelError
+	}
 	return cfg, design, nil
 }
 
@@ -218,6 +230,9 @@ func SignalContext() (context.Context, context.CancelFunc) {
 // Progress callbacks are serialized by the Lab, so plain fields suffice.
 type Counts struct {
 	Started, CacheHits, Simulated int64
+	// WarmupsRestored counts the simulated runs that skipped warmup by
+	// restoring a cached checkpoint (a subset of Simulated).
+	WarmupsRestored int64
 }
 
 // Observe is the progress callback feeding the counts.
@@ -229,6 +244,9 @@ func (c *Counts) Observe(p impress.Progress) {
 		c.CacheHits++
 	case impress.ProgressSpecFinished:
 		c.Simulated++
+		if p.WarmupRestored {
+			c.WarmupsRestored++
+		}
 	}
 }
 
@@ -298,16 +316,20 @@ func SuggestStore(stderr io.Writer) {
 	fmt.Fprintln(stderr, "no result store was attached; rerun with -cache-dir (or $IMPRESS_CACHE) to make interrupted runs resumable")
 }
 
-// ReportCacheOutcome prints the standard stderr notices after a Lab run
-// (hit = counts.CacheHits > 0 from the progress stream): where a hit
-// was served from, and whether caching the fresh result failed
-// (persistence lost, run unaffected). A nil store prints nothing.
-func ReportCacheOutcome(stderr io.Writer, st *resultstore.Store, hit bool) {
+// ReportCacheOutcome prints the standard stderr notices after a Lab run,
+// fed by the progress-stream counts: where a cache hit was served from,
+// whether the run skipped warmup by restoring a cached checkpoint, and
+// whether caching the fresh result failed (persistence lost, run
+// unaffected). A nil store prints nothing.
+func ReportCacheOutcome(stderr io.Writer, st *resultstore.Store, counts *Counts) {
 	if st == nil {
 		return
 	}
-	if hit {
+	if counts.CacheHits > 0 {
 		fmt.Fprintf(stderr, "[result served from cache %s]\n", st.Dir())
+	}
+	if counts.WarmupsRestored > 0 {
+		fmt.Fprintf(stderr, "[warmup restored from cached checkpoint in %s]\n", st.Dir())
 	}
 	if st.Counters().WriteErrors > 0 {
 		fmt.Fprintf(stderr, "[warning: caching the result in %s failed]\n", st.Dir())
@@ -340,5 +362,17 @@ func PrintResult(w io.Writer, res sim.Result, design core.Design, tracker string
 	if m.Reads > 0 {
 		avgNs := float64(m.ReadLatencySum) / float64(m.Reads) / float64(dram.TicksPerNs)
 		fmt.Fprintf(w, "avg read lat:    %.1f ns\n", avgNs)
+	}
+	if est := res.Estimates; est != nil {
+		mode := "fixed interval count"
+		if est.EarlyStopped {
+			mode = "early-stopped"
+		}
+		fmt.Fprintf(w, "sampled:         %d intervals (%s) — estimates carry 95%% CIs\n",
+			est.Intervals, mode)
+		fmt.Fprintf(w, "  IPC (sum):     %.3f ± %.3f (rel. %.2f%%)\n",
+			est.WeightedIPC.Mean, est.WeightedIPC.HalfWidth, 100*est.WeightedIPC.RelError)
+		fmt.Fprintf(w, "  ACTs/kinstr:   %.1f ± %.1f (rel. %.2f%%)\n",
+			est.ACTsPerKilo.Mean, est.ACTsPerKilo.HalfWidth, 100*est.ACTsPerKilo.RelError)
 	}
 }

@@ -63,6 +63,15 @@ func (r *Rand) Uint64() uint64 {
 	return result
 }
 
+// State returns the generator's internal state so it can be serialized
+// (warmup checkpoints) and later restored with SetState.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value
+// previously obtained from State. The restored generator produces the
+// exact same stream the original would have from that point on.
+func (r *Rand) SetState(s [4]uint64) { r.s = s }
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from r's future output because it is seeded through
 // splitMix64. Split advances r by one draw.

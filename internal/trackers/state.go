@@ -1,0 +1,183 @@
+package trackers
+
+import (
+	"fmt"
+
+	"impress/internal/clm"
+	"impress/internal/errs"
+)
+
+// SlotState is one occupied entry of a counter-table tracker (Graphene,
+// Mithril), identified by its slot index so a restore reproduces the
+// exact table layout — eviction scans walk slots in index order, so the
+// layout is observable.
+type SlotState struct {
+	Slot  int      `json:"slot"`
+	Row   int64    `json:"row"`
+	Count clm.EACT `json:"count"`
+}
+
+// State is a kind-tagged serializable snapshot of a tracker's mutable
+// state, used by warmup checkpoints. Only the fields relevant to the
+// tagged kind are populated; sizing parameters (entry counts,
+// thresholds, probabilities) are not captured — they are rebuilt from
+// the simulation config, and RestoreState assumes the receiver was
+// constructed with the same config that produced the snapshot.
+type State struct {
+	Kind string `json:"kind"`
+
+	// Counter tables (graphene, mithril): occupied slots in index order.
+	Slots     []SlotState `json:"slots,omitempty"`
+	Spillover clm.EACT    `json:"spillover,omitempty"` // graphene only
+
+	// Probabilistic trackers (para, mint): the private RNG stream.
+	RNG [4]uint64 `json:"rng"`
+
+	// MINT registers.
+	SAN      clm.EACT `json:"san,omitempty"`
+	CAN      clm.EACT `json:"can,omitempty"`
+	SAR      int64    `json:"sar,omitempty"`
+	SARValid bool     `json:"sarValid,omitempty"`
+
+	Mitigations uint64 `json:"mitigations,omitempty"`
+}
+
+// Snapshotter is implemented by trackers that support warmup
+// checkpointing. The restored tracker must be behaviorally identical to
+// the snapshotted one: same future mitigations for the same future
+// activation stream.
+type Snapshotter interface {
+	Snapshot() State
+	RestoreState(State) error
+}
+
+func restoreKindErr(want, got string) error {
+	return fmt.Errorf("trackers: %w: checkpoint state kind %q, want %q",
+		errs.ErrBadSpec, got, want)
+}
+
+// Snapshot implements Snapshotter.
+func (g *Graphene) Snapshot() State {
+	return State{
+		Kind:        g.Name(),
+		Slots:       snapshotSlots(g.slotUsed, g.slotRow, g.slotCount),
+		Spillover:   g.spillover,
+		Mitigations: g.mitigations,
+	}
+}
+
+// RestoreState implements Snapshotter.
+func (g *Graphene) RestoreState(s State) error {
+	if s.Kind != g.Name() {
+		return restoreKindErr(g.Name(), s.Kind)
+	}
+	g.ResetWindow()
+	if err := restoreSlots(s.Slots, g.rows, g.slotUsed, g.slotRow, g.slotCount); err != nil {
+		return err
+	}
+	g.spillover = s.Spillover
+	g.mitigations = s.Mitigations
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (m *Mithril) Snapshot() State {
+	return State{
+		Kind:        m.Name(),
+		Slots:       snapshotSlots(m.slotUsed, m.slotRow, m.slotCount),
+		Mitigations: m.mitigations,
+	}
+}
+
+// RestoreState implements Snapshotter.
+func (m *Mithril) RestoreState(s State) error {
+	if s.Kind != m.Name() {
+		return restoreKindErr(m.Name(), s.Kind)
+	}
+	m.ResetWindow()
+	if err := restoreSlots(s.Slots, m.rows, m.slotUsed, m.slotRow, m.slotCount); err != nil {
+		return err
+	}
+	m.mitigations = s.Mitigations
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (p *PARA) Snapshot() State {
+	return State{Kind: p.Name(), RNG: p.rng.State(), Mitigations: p.mitigations}
+}
+
+// RestoreState implements Snapshotter.
+func (p *PARA) RestoreState(s State) error {
+	if s.Kind != p.Name() {
+		return restoreKindErr(p.Name(), s.Kind)
+	}
+	p.rng.SetState(s.RNG)
+	p.mitigations = s.Mitigations
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (m *MINT) Snapshot() State {
+	return State{
+		Kind:        m.Name(),
+		RNG:         m.rng.State(),
+		SAN:         m.san,
+		CAN:         m.can,
+		SAR:         m.sar,
+		SARValid:    m.sarValid,
+		Mitigations: m.mitigations,
+	}
+}
+
+// RestoreState implements Snapshotter. The constructor's initial drawSAN
+// is overwritten wholesale: SAN, CAN, SAR and the RNG stream all come
+// from the snapshot, so the restored instance replays the original's
+// exact future slot selections.
+func (m *MINT) RestoreState(s State) error {
+	if s.Kind != m.Name() {
+		return restoreKindErr(m.Name(), s.Kind)
+	}
+	m.rng.SetState(s.RNG)
+	m.san = s.SAN
+	m.can = s.CAN
+	m.sar = s.SAR
+	m.sarValid = s.SARValid
+	m.mitigations = s.Mitigations
+	return nil
+}
+
+func snapshotSlots(used []bool, rows []int64, counts []clm.EACT) []SlotState {
+	var out []SlotState
+	for i, u := range used {
+		if !u {
+			continue
+		}
+		out = append(out, SlotState{Slot: i, Row: rows[i], Count: counts[i]})
+	}
+	return out
+}
+
+// restoreSlots applies a slot snapshot onto a freshly reset table. The
+// caller's table maps must be empty (ResetWindow) before the call.
+func restoreSlots(slots []SlotState, index map[int64]int, used []bool, rows []int64, counts []clm.EACT) error {
+	for _, s := range slots {
+		if s.Slot < 0 || s.Slot >= len(used) {
+			return fmt.Errorf("trackers: %w: checkpoint slot %d out of range [0,%d)",
+				errs.ErrBadSpec, s.Slot, len(used))
+		}
+		if used[s.Slot] {
+			return fmt.Errorf("trackers: %w: checkpoint slot %d duplicated",
+				errs.ErrBadSpec, s.Slot)
+		}
+		if _, dup := index[s.Row]; dup {
+			return fmt.Errorf("trackers: %w: checkpoint row %d duplicated",
+				errs.ErrBadSpec, s.Row)
+		}
+		used[s.Slot] = true
+		rows[s.Slot] = s.Row
+		counts[s.Slot] = s.Count
+		index[s.Row] = s.Slot
+	}
+	return nil
+}

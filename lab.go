@@ -82,6 +82,8 @@ type Lab struct {
 	store       *resultstore.Store
 	parallelism int
 	clock       sim.ClockMode
+	maxRelError float64
+	annotateCI  bool
 	progress    func(Progress)
 
 	progressMu sync.Mutex
@@ -139,18 +141,44 @@ func WithParallelism(n int) LabOption {
 }
 
 // WithClock sets the default simulator clocking for configs that leave
-// Clock at its zero value (explicitly non-zero configs win). Results are
-// bit-identical across modes; the choice trades speed against the
-// cycle-accurate reference and the lockstep cross-check.
+// Clock at its zero value (explicitly non-zero configs win). The exact
+// modes are bit-identical; the choice trades speed against the
+// cycle-accurate reference and the lockstep cross-check. SimClockSampled
+// is explicitly approximate — interval sampling with 95% confidence
+// intervals on the estimates (see WithMaxRelError).
 func WithClock(mode SimClockMode) LabOption {
 	return func(l *Lab) error {
 		switch mode {
-		case SimClockEventDriven, SimClockCycleAccurate, SimClockLockstep:
+		case SimClockEventDriven, SimClockCycleAccurate, SimClockLockstep, SimClockSampled:
 			l.clock = mode
 			return nil
 		default:
 			return fmt.Errorf("impress: %w: unknown clock mode %d", ErrBadSpec, mode)
 		}
+	}
+}
+
+// WithMaxRelError sets the sampled-mode convergence target: once every
+// tracked metric's 95% CI relative half-width drops to target or below,
+// the run stops sampling early. Zero keeps the fixed interval count;
+// negative targets fail config validation at run time. It only affects
+// configs running under SimClockSampled.
+func WithMaxRelError(target float64) LabOption {
+	return func(l *Lab) error {
+		l.maxRelError = target
+		return nil
+	}
+}
+
+// WithCIAnnotations makes Experiments append a confidence-interval
+// summary note to each simulation-backed table assembled from sampled
+// runs (worst 95% relative half-width per metric, early-stop count).
+// Exact-mode runs carry no estimates, so default-mode table output stays
+// byte-identical even with the option set.
+func WithCIAnnotations() LabOption {
+	return func(l *Lab) error {
+		l.annotateCI = true
+		return nil
 	}
 }
 
@@ -182,10 +210,14 @@ func (l *Lab) emit(p Progress) {
 }
 
 // withClock applies the Lab's default clock mode to a config that left
-// Clock at the zero value.
+// Clock at the zero value, and the Lab's convergence target to sampled
+// configs that left MaxRelError unset.
 func (l *Lab) withClock(cfg SimConfig) SimConfig {
 	if cfg.Clock == SimClockEventDriven {
 		cfg.Clock = l.clock
+	}
+	if cfg.Clock == SimClockSampled && cfg.MaxRelError == 0 {
+		cfg.MaxRelError = l.maxRelError
 	}
 	return cfg
 }
@@ -239,11 +271,19 @@ func (l *Lab) Run(ctx context.Context, cfg SimConfig) (SimResult, error) {
 			return res, nil
 		}
 	}
+	// With a store attached, warmup checkpoints ride the same cache: a
+	// compatible cached checkpoint restores post-warmup state instead of
+	// re-simulating warmup, and a cold run publishes one for the specs
+	// that share its warmup prefix.
+	var restored bool
+	if l.store != nil {
+		restored = l.store.AttachCheckpoints(&cfg)
+	}
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return SimResult{}, err
 	}
-	l.emit(Progress{Kind: ProgressSpecFinished, Spec: label, Key: key, Cycles: res.Cycles})
+	l.emit(Progress{Kind: ProgressSpecFinished, Spec: label, Key: key, Cycles: res.Cycles, WarmupRestored: restored})
 	if l.store != nil {
 		// A failed write loses persistence, not the run; it is counted
 		// in the store's Counters.
@@ -307,6 +347,8 @@ func (l *Lab) newRunner(scale ExperimentScale) *ExperimentRunner {
 	r.Parallelism = l.parallelism
 	r.Store = l.store
 	r.Clock = l.clock
+	r.MaxRelError = l.maxRelError
+	r.AnnotateCI = l.annotateCI
 	if l.progress != nil {
 		r.Progress = l.emit
 	}
