@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"impress"
 	"impress/internal/attack"
@@ -31,7 +32,7 @@ func main() {
 	patternFlag := flag.String("pattern", "rowhammer", "attack: rowhammer, rowpress, decoy, combined, interleaved, or search (sweep all strategies)")
 	tonTRC := flag.Int64("ton-trc", 81, "rowpress row-open time in tRC units")
 	k := flag.Int64("k", 0, "combined-pattern Row-Press parameter K")
-	trackerFlag := flag.String("tracker", "graphene", "tracker: graphene, para, mithril, mint")
+	trackerFlag := flag.String("tracker", "graphene", "tracker: "+strings.Join(trackers.Names(), ", "))
 	designFlag := flag.String("design", "no-rp", "defense: no-rp, express, impress-n, impress-p")
 	alphaDesign := flag.Float64("alpha", 1.0, "design alpha (express/impress-n retuning)")
 	alphaTrue := flag.Float64("alpha-true", 0.48, "true device leakage rate for damage accounting")
@@ -148,21 +149,17 @@ func parseDesign(name string, alpha float64, fracBits int) (core.Design, error) 
 	return d, d.Validate()
 }
 
+// parseTracker resolves -tracker through the tracker registry, so every
+// registered tracker — including zoo extensions like hydra and abacus —
+// is attackable by name without this command changing. Unknown names
+// come back as impress.ErrBadSpec listing what is registered.
 func parseTracker(name string, rfmth int, seed uint64) (security.TrackerFactory, error) {
-	switch name {
-	case "graphene":
-		return func(trh float64) trackers.Tracker { return trackers.NewGraphene(trh) }, nil
-	case "para":
-		return func(trh float64) trackers.Tracker {
-			return trackers.NewPARA(trh, stats.NewRand(seed))
-		}, nil
-	case "mithril":
-		return func(trh float64) trackers.Tracker { return trackers.NewMithril(trh, rfmth) }, nil
-	case "mint":
-		return func(trh float64) trackers.Tracker {
-			return trackers.NewMINT(rfmth, stats.NewRand(seed))
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown tracker %q", name)
+	info, ok := trackers.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown tracker %q (registered: %s)",
+			impress.ErrBadSpec, name, strings.Join(trackers.Names(), ", "))
 	}
+	return func(trh float64) trackers.Tracker {
+		return info.New(trh, rfmth, stats.NewRand(seed))
+	}, nil
 }

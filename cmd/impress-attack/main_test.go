@@ -1,0 +1,41 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"impress"
+	"impress/internal/trackers"
+)
+
+// TestParseTrackerCoversRegistry pins the CLI to the tracker registry:
+// every registered tracker resolves by name and builds an instance that
+// answers to that name, so zoo extensions are attackable the moment
+// they register.
+func TestParseTrackerCoversRegistry(t *testing.T) {
+	for _, info := range trackers.Registry() {
+		factory, err := parseTracker(info.Name, 80, 1)
+		if err != nil {
+			t.Fatalf("parseTracker(%q): %v", info.Name, err)
+		}
+		if got := factory(4000).Name(); got != info.Name {
+			t.Errorf("parseTracker(%q) built a tracker named %q", info.Name, got)
+		}
+	}
+}
+
+// TestParseTrackerUnknownIsTyped pins the failure mode: an unknown
+// -tracker is impress.ErrBadSpec and the message lists every registered
+// name, so the user learns the valid universe from the error itself.
+func TestParseTrackerUnknownIsTyped(t *testing.T) {
+	_, err := parseTracker("twice", 80, 1)
+	if !errors.Is(err, impress.ErrBadSpec) {
+		t.Fatalf("unknown tracker error = %v, want impress.ErrBadSpec", err)
+	}
+	for _, name := range trackers.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered tracker %q", err, name)
+		}
+	}
+}

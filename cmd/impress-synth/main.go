@@ -1,0 +1,236 @@
+// Command impress-synth breeds adversarial attack traces against the
+// tracker zoo (DESIGN.md §13): a deterministic evolutionary search over
+// compact attack genomes, scored by the security harness, whose
+// champions archive into the attack zoo as replayable regression
+// workloads.
+//
+//	impress-synth run     -tracker abacus -seed 1          # search, print the champion
+//	impress-synth resume  -tracker abacus -cache-dir DIR   # re-run warm: simulates only the frontier
+//	impress-synth archive -tracker abacus -zoo DIR         # search, then archive the champion
+//	impress-synth show    [-zoo DIR] [name]                # list or inspect archived attacks
+//
+// One (tracker, seed, budget) triple names exactly one champion, so a
+// search is reproducible by its flags. Every fitness evaluation is
+// content-keyed in the -cache-dir result store: "resume" is just "run"
+// against a warm store — identical genomes are cache hits, and only
+// genomes the search has never seen simulate. With -labd the fitness
+// function runs on a remote impress-labd daemon instead, batched
+// through its POST /v1/attacks endpoint and cached in the daemon's
+// store.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"impress"
+	"impress/internal/labd"
+	"impress/internal/simcli"
+)
+
+func main() {
+	ctx, stop := simcli.SignalContext()
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: impress-synth <command> [flags]
+
+commands:
+  run      search for a worst-case trace against one tracker
+  resume   run against a warm result store (requires -cache-dir or -labd)
+  archive  run, then archive the champion into the attack zoo
+  show     list archived attacks, or one entry's manifest
+
+run 'impress-synth <command> -h' for the command's flags`)
+}
+
+// run dispatches the subcommand and maps errors to exit codes: 0 on
+// success, 1 on interruption, 2 on invalid input or failure. It is the
+// testable seam for the command.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "run":
+		err = cmdSearch(ctx, args[1:], stdout, stderr, false, false)
+	case "resume":
+		err = cmdSearch(ctx, args[1:], stdout, stderr, true, false)
+	case "archive":
+		err = cmdSearch(ctx, args[1:], stdout, stderr, false, true)
+	case "show":
+		err = cmdShow(args[1:], stdout, stderr)
+	case "help", "-h", "-help", "--help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "impress-synth: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	switch {
+	case err == nil:
+		return 0
+	case err == flag.ErrHelp:
+		return 0
+	case simcli.ReportInterrupted(stderr, err, "rerun with the same flags and -cache-dir to resume warm"):
+		return 1
+	default:
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+}
+
+// searchFlags are the knobs shared by run/resume/archive.
+type searchFlags struct {
+	tracker     string
+	seed        uint64
+	population  int
+	generations int
+	cacheDir    string
+	labdURL     string
+	zooDir      string
+	archive     bool
+}
+
+func registerSearchFlags(fs *flag.FlagSet) *searchFlags {
+	f := &searchFlags{}
+	fs.StringVar(&f.tracker, "tracker", "abacus", "target tracker (a registry name; see impress-attack -h)")
+	fs.Uint64Var(&f.seed, "seed", 1, "search seed: same (tracker, seed, budget) = same champion")
+	fs.IntVar(&f.population, "population", 0, "genomes per generation (0 = default)")
+	fs.IntVar(&f.generations, "generations", 0, "generations to evolve (0 = default)")
+	fs.StringVar(&f.cacheDir, "cache-dir", os.Getenv("IMPRESS_CACHE"),
+		"persistent result-store directory (default $IMPRESS_CACHE; empty disables caching)")
+	fs.StringVar(&f.labdURL, "labd", "",
+		"impress-labd base URL: evaluate fitness on the daemon instead of locally")
+	fs.StringVar(&f.zooDir, "zoo", impress.DefaultAttackZooDir(),
+		"attack-zoo directory for archived champions (default $IMPRESS_ATTACKZOO or testdata/attackzoo)")
+	fs.BoolVar(&f.archive, "archive", false, "archive the champion into -zoo after the search")
+	return f
+}
+
+// cmdSearch is run, resume and archive: one search, differing only in
+// what it refuses (resume without a store is a cold run, so it is
+// rejected) and whether the champion is archived afterwards.
+func cmdSearch(ctx context.Context, args []string, stdout, stderr io.Writer, requireWarm, forceArchive bool) error {
+	name := "run"
+	if requireWarm {
+		name = "resume"
+	} else if forceArchive {
+		name = "archive"
+	}
+	fs := flag.NewFlagSet("impress-synth "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	f := registerSearchFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("impress-synth %s: %w: unexpected argument %q", name, impress.ErrBadSpec, fs.Arg(0))
+	}
+	if requireWarm && f.cacheDir == "" && f.labdURL == "" {
+		return fmt.Errorf("impress-synth resume: %w: resume needs a warm store: set -cache-dir (or $IMPRESS_CACHE) or -labd", impress.ErrBadSpec)
+	}
+
+	lab, err := impress.NewLab(impress.WithStore(f.cacheDir))
+	if err != nil {
+		return err
+	}
+	cfg := impress.SynthConfig{
+		Tracker:     f.tracker,
+		Seed:        f.seed,
+		Population:  f.population,
+		Generations: f.generations,
+		OnGeneration: func(g impress.SynthGenStats) {
+			fmt.Fprintf(stderr, "gen %d: best=%.1f mean=%.1f champion=%s\n", g.Gen, g.Best, g.Mean, g.Champion)
+		},
+	}
+	if f.labdURL != "" {
+		cfg.Evaluator = labd.NewClient(f.labdURL)
+	}
+	rep, err := lab.Synthesize(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	printReport(stdout, rep)
+	if f.archive || forceArchive {
+		entry, err := lab.ArchiveAttack(ctx, f.zooDir, rep)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "archived:         %s (zoo %s)\n", entry.Name, f.zooDir)
+		fmt.Fprintf(stdout, "replay workload:  attackzoo:%s\n", entry.Name)
+	}
+	return nil
+}
+
+func printReport(w io.Writer, rep impress.SynthReport) {
+	fmt.Fprintf(w, "tracker:          %s\n", rep.Tracker)
+	fmt.Fprintf(w, "champion:         %s\n", rep.Champion)
+	fmt.Fprintf(w, "evaluation key:   %s\n", rep.ChampionKey)
+	fmt.Fprintf(w, "peak damage:      %.1f (slowdown %.2f%%)\n", rep.ChampionDamage, 100*rep.ChampionSlowdown)
+	fmt.Fprintf(w, "paper best:       %s (%.1f)\n", rep.PaperBestPattern, rep.PaperBestDamage)
+	verdict := "paper patterns remain the worst case"
+	if rep.BeatsPaper() {
+		verdict = "SYNTH WORSE than every paper pattern"
+	}
+	fmt.Fprintf(w, "synth/paper:      %.2fx (%s)\n", rep.ChampionDamage/rep.PaperBestDamage, verdict)
+	fmt.Fprintf(w, "budget:           %d generations, %d evaluations\n", rep.Generations, rep.Evaluated)
+}
+
+// cmdShow lists the zoo (no argument) or prints one entry's manifest.
+func cmdShow(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("impress-synth show", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	zooDir := fs.String("zoo", impress.DefaultAttackZooDir(),
+		"attack-zoo directory (default $IMPRESS_ATTACKZOO or testdata/attackzoo)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("impress-synth show: %w: want at most one entry name, got %d", impress.ErrBadSpec, fs.NArg())
+	}
+	entries, err := impress.AttackZooEntries(*zooDir)
+	if err != nil {
+		return err
+	}
+	if fs.NArg() == 1 {
+		name := fs.Arg(0)
+		for _, e := range entries {
+			if e.Name == name {
+				printEntry(stdout, e)
+				return nil
+			}
+		}
+		return fmt.Errorf("impress-synth show: %w: no archived attack %q in %s", impress.ErrUnknownWorkload, name, *zooDir)
+	}
+	if len(entries) == 0 {
+		fmt.Fprintf(stdout, "attack zoo %s is empty: run 'impress-synth archive' to breed a champion\n", *zooDir)
+		return nil
+	}
+	fmt.Fprintf(stdout, "%-22s %-10s %-12s %-12s %s\n", "name", "tracker", "damage", "paper best", "synth/paper")
+	for _, e := range entries {
+		fmt.Fprintf(stdout, "%-22s %-10s %-12.1f %-12.1f %.2fx\n",
+			e.Name, e.Tracker, e.MaxDamage, e.PaperBestDamage, e.MaxDamage/e.PaperBestDamage)
+	}
+	return nil
+}
+
+func printEntry(w io.Writer, e impress.AttackZooEntry) {
+	fmt.Fprintf(w, "name:             %s\n", e.Name)
+	fmt.Fprintf(w, "genome:           %s\n", e.Genome)
+	fmt.Fprintf(w, "tracker:          %s\n", e.Tracker)
+	fmt.Fprintf(w, "design:           %s (TRH %.0f, alpha %.2f, rfmth %d, seed %d)\n",
+		e.Design, e.DesignTRH, e.AlphaTrue, e.RFMTH, e.Seed)
+	fmt.Fprintf(w, "peak damage:      %.1f (slowdown %.2f%%)\n", e.MaxDamage, 100*e.Slowdown)
+	fmt.Fprintf(w, "paper best:       %.1f (%.2fx)\n", e.PaperBestDamage, e.MaxDamage/e.PaperBestDamage)
+	fmt.Fprintf(w, "trace sha256:     %s\n", e.TraceSHA256)
+	fmt.Fprintf(w, "replay workload:  attackzoo:%s\n", e.Name)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// runCmd drives the command's testable seam and returns its exit code
+// with captured output.
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(context.Background(), args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestBadInvocationsExitTwo(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"explode"},
+		{"run", "-tracker", "nope", "-population", "4", "-generations", "1"},
+		{"run", "positional"},
+		{"resume", "-tracker", "graphene", "-cache-dir", ""},
+		{"show", "-zoo", t.TempDir(), "a", "b"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCmd(t, args...); code != 2 {
+			t.Errorf("run(%q) = %d, want 2", args, code)
+		}
+	}
+	// The unknown-tracker error teaches the valid universe.
+	_, _, stderr := runCmd(t, "run", "-tracker", "nope", "-population", "4", "-generations", "1")
+	if !strings.Contains(stderr, "graphene") || !strings.Contains(stderr, "abacus") {
+		t.Errorf("unknown tracker error does not list the registry:\n%s", stderr)
+	}
+}
+
+func TestShowEmptyZoo(t *testing.T) {
+	code, stdout, _ := runCmd(t, "show", "-zoo", t.TempDir())
+	if code != 0 {
+		t.Fatalf("show on an empty zoo exits %d", code)
+	}
+	if !strings.Contains(stdout, "empty") {
+		t.Fatalf("empty zoo output: %q", stdout)
+	}
+}
+
+// TestArchiveShowResume walks the CLI's whole life cycle on a tiny
+// budget: archive a champion, list and inspect it, then resume the same
+// search against the warm store and converge on the same champion.
+func TestArchiveShowResume(t *testing.T) {
+	zoo, cache := t.TempDir(), t.TempDir()
+	budget := []string{"-tracker", "graphene", "-seed", "1", "-population", "4", "-generations", "1",
+		"-cache-dir", cache, "-zoo", zoo}
+
+	code, stdout, stderr := runCmd(t, append([]string{"archive"}, budget...)...)
+	if code != 0 {
+		t.Fatalf("archive exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "archived:") || !strings.Contains(stdout, "replay workload:  attackzoo:graphene-") {
+		t.Fatalf("archive output missing the entry:\n%s", stdout)
+	}
+	champLine := lineWith(stdout, "champion:")
+	if champLine == "" {
+		t.Fatalf("archive output has no champion line:\n%s", stdout)
+	}
+
+	code, list, _ := runCmd(t, "show", "-zoo", zoo)
+	if code != 0 || !strings.Contains(list, "graphene-") {
+		t.Fatalf("show list (exit %d):\n%s", code, list)
+	}
+	name := strings.Fields(strings.Split(list, "\n")[1])[0]
+	code, detail, _ := runCmd(t, "show", "-zoo", zoo, name)
+	if code != 0 || !strings.Contains(detail, "genome:") || !strings.Contains(detail, "attackzoo:"+name) {
+		t.Fatalf("show %s (exit %d):\n%s", name, code, detail)
+	}
+
+	// Resume: same flags, warm store, same champion.
+	code, warm, stderr := runCmd(t, append([]string{"resume"}, budget...)...)
+	if code != 0 {
+		t.Fatalf("resume exited %d\nstderr:\n%s", code, stderr)
+	}
+	if got := lineWith(warm, "champion:"); got != champLine {
+		t.Fatalf("warm resume champion diverged:\n  %s\n  %s", got, champLine)
+	}
+}
+
+// lineWith returns the first line of s containing substr.
+func lineWith(s, substr string) string {
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, substr) {
+			return line
+		}
+	}
+	return ""
+}

@@ -194,6 +194,14 @@ func MINTToleratedTRH(rfmth int) float64 { return trackers.MINTToleratedTRH(rfmt
 // Row-Press protection).
 func NewPRAC(trh float64) Tracker { return trackers.NewPRAC(trh) }
 
+// NewHydra returns the Hydra hybrid tracker tolerating trh: SRAM group
+// counters that spill to exact per-row counts on saturation.
+func NewHydra(trh float64) Tracker { return trackers.NewHydra(trh) }
+
+// NewABACuS returns the ABACuS shared-counter tracker tolerating trh:
+// one counter row shared across banks, evicted without inheritance.
+func NewABACuS(trh float64) Tracker { return trackers.NewABACuS(trh) }
+
 // ---- Security harness (paper Sections V-VI, Appendix B) ----
 
 // AttackConfig describes one security experiment.
@@ -293,6 +301,8 @@ const (
 	TrackerPARA     = sim.TrackerPARA
 	TrackerMithril  = sim.TrackerMithril
 	TrackerMINT     = sim.TrackerMINT
+	TrackerHydra    = sim.TrackerHydra
+	TrackerABACuS   = sim.TrackerABACuS
 )
 
 // SimClockMode selects the simulator's stepping strategy.

@@ -55,6 +55,12 @@ var legacyNoCtx = []string{
 	"DDR5", "Ns", "NewDesign", "NewBankPolicy",
 	"NewRand", "NewGraphene", "NewPARA", "NewMithril",
 	"NewMINT", "MINTToleratedTRH", "NewPRAC",
+	// Zoo-extension trackers (adversarial-synthesis PR): pure
+	// constructors like the trackers above.
+	"NewHydra", "NewABACuS",
+	// Attack-zoo locators (same PR): a path computation and a manifest
+	// directory listing — no run to cancel.
+	"DefaultAttackZooDir", "AttackZooEntries",
 	"StorageComparison", "MINTStorageBytes",
 	"Workloads", "WorkloadByName", "MixWorkloads",
 	"DecodeTrace", "ReadTraceFile", "OpenTraceReader", "DefaultSimConfig",

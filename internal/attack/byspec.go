@@ -1,0 +1,55 @@
+package attack
+
+import (
+	"fmt"
+	"strings"
+
+	"impress/internal/dram"
+	"impress/internal/errs"
+)
+
+// PaperPatternNames lists the paper's five hand-written attack patterns
+// in workload-spec order — the baseline the synthesis loop must beat.
+func PaperPatternNames() []string {
+	return []string{"hammer", "rowpress", "decoy", "manysided", "interleaved"}
+}
+
+// SynthSpecPrefix marks a canonical-genome pattern spec ("synth:v1:...").
+const SynthSpecPrefix = "synth:"
+
+// BySpec builds a pattern from its spec string: one of the five paper
+// pattern names, or "synth:<genome>" for a synthesized genome. Rows are
+// pattern-local; the trace adapter offsets them into each core's private
+// range. Unknown names return a typed error wrapping
+// errs.ErrUnknownWorkload; malformed genomes wrap errs.ErrBadSpec.
+func BySpec(spec string, t dram.Timings) (Pattern, error) {
+	if genome, ok := strings.CutPrefix(spec, SynthSpecPrefix); ok {
+		g, err := ParseGenome(genome)
+		if err != nil {
+			return nil, err
+		}
+		return NewProgram(g, t)
+	}
+	switch spec {
+	case "hammer":
+		// Double-sided Rowhammer: alternating rows force a bank conflict
+		// (and therefore a fresh ACT) on every access even under the
+		// controller's open-page policy.
+		return &ManySided{Rows: []int64{1, 3}, Timings: t}, nil
+	case "rowpress":
+		return &RowPress{Row: 1, TON: t.TREFI, Timings: t}, nil
+	case "decoy":
+		return &Decoy{Row: 1, DecoyRow: 1024, Timings: t}, nil
+	case "manysided":
+		rows := make([]int64, 16)
+		for i := range rows {
+			rows[i] = int64(2*i + 1)
+		}
+		return &ManySided{Rows: rows, Timings: t}, nil
+	case "interleaved":
+		return &InterleavedRHRP{Row: 1, BurstLen: 8, HoldTON: t.TREFI, Timings: t}, nil
+	default:
+		return nil, fmt.Errorf("attack: %w: unknown attack pattern %q (have %v, or synth:<genome>)",
+			errs.ErrUnknownWorkload, spec, PaperPatternNames())
+	}
+}

@@ -1,0 +1,191 @@
+package attack
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"impress/internal/errs"
+)
+
+// The attack zoo: synthesized champion traces archived as regression
+// workloads. Each archived attack is a pair of files under the zoo
+// directory — "<name>.json" (this manifest: the genome, the target it
+// was bred against, and the margins recorded at archive time) and
+// "<name>.trace" (the rendered v2 trace, content-hashed in the
+// manifest). Names are content-keyed by the evaluation spec, so two
+// archives of the same champion collide into one entry. The manifest is
+// the low-level contract shared by the synthesis engine (writer), the
+// "attackzoo:" workload spec (reader), the paper-vs-synthesized margin
+// table and the archive regression tier.
+
+// ZooEntry is one archived synthesized attack.
+type ZooEntry struct {
+	// Name is the entry's file stem, content-keyed as
+	// "<tracker>-<first 12 hex of the evaluation-spec key>".
+	Name string `json:"name"`
+	// Genome is the canonical genome string (ParseGenome accepts it).
+	Genome string `json:"genome"`
+	// Tracker and the fields below record the evaluation the margins
+	// were measured under, so replays reproduce them exactly.
+	Tracker   string  `json:"tracker"`
+	Design    string  `json:"design"`
+	DesignTRH float64 `json:"designTRH"`
+	AlphaTrue float64 `json:"alphaTrue"`
+	RFMTH     int     `json:"rfmth"`
+	Seed      uint64  `json:"seed"`
+
+	// MaxDamage and Slowdown are the margins recorded at archive time;
+	// PaperBestDamage is the best paper pattern's damage against the
+	// same target, the baseline the champion beat.
+	MaxDamage       float64 `json:"maxDamage"`
+	Slowdown        float64 `json:"slowdown"`
+	PaperBestDamage float64 `json:"paperBestDamage"`
+	// Tolerance is the relative drift the regression tier allows when
+	// replaying the entry (the harness is deterministic, so this only
+	// absorbs float-ordering noise).
+	Tolerance float64 `json:"tolerance"`
+	// TraceSHA256 is the hex digest of the rendered trace file.
+	TraceSHA256 string `json:"traceSHA256"`
+}
+
+// Validate checks the manifest's internal consistency.
+func (e ZooEntry) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("attack: %w: zoo entry %q: %s",
+			errs.ErrBadSpec, e.Name, fmt.Sprintf(format, args...))
+	}
+	if e.Name == "" || strings.ContainsAny(e.Name, "/\\") {
+		return bad("invalid name")
+	}
+	if _, err := ParseGenome(e.Genome); err != nil {
+		return bad("genome: %v", err)
+	}
+	if e.Tracker == "" {
+		return bad("missing tracker")
+	}
+	if e.Tolerance < 0 {
+		return bad("negative tolerance")
+	}
+	return nil
+}
+
+// DefaultZooDir locates the archive directory: $IMPRESS_ATTACKZOO when
+// set, else the repository's testdata/attackzoo (resolved from this
+// source file's build-time path, so tests in any package and CLIs run
+// from any directory inside the checkout agree on the location).
+func DefaultZooDir() string {
+	if dir := os.Getenv("IMPRESS_ATTACKZOO"); dir != "" {
+		return dir
+	}
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return filepath.Join("testdata", "attackzoo")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "..", "testdata", "attackzoo")
+}
+
+// ZooTracePath returns the rendered-trace path for an entry name.
+func ZooTracePath(dir, name string) string {
+	return filepath.Join(dir, name+".trace")
+}
+
+// zooManifestPath returns the manifest path for an entry name.
+func zooManifestPath(dir, name string) string {
+	return filepath.Join(dir, name+".json")
+}
+
+// ReadZooEntry loads and validates one archived entry by name.
+func ReadZooEntry(dir, name string) (ZooEntry, error) {
+	if strings.ContainsAny(name, "/\\") {
+		return ZooEntry{}, fmt.Errorf("attack: %w: invalid zoo entry name %q", errs.ErrBadSpec, name)
+	}
+	data, err := os.ReadFile(zooManifestPath(dir, name))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ZooEntry{}, fmt.Errorf("attack: %w: no archived attack %q in %s",
+				errs.ErrUnknownWorkload, name, dir)
+		}
+		return ZooEntry{}, fmt.Errorf("attack: reading zoo entry %q: %w", name, err)
+	}
+	var e ZooEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return ZooEntry{}, fmt.Errorf("attack: %w: corrupt zoo manifest %q: %w",
+			errs.ErrBadSpec, name, err)
+	}
+	if e.Name != name {
+		return ZooEntry{}, fmt.Errorf("attack: %w: zoo manifest %q names itself %q",
+			errs.ErrBadSpec, name, e.Name)
+	}
+	if err := e.Validate(); err != nil {
+		return ZooEntry{}, err
+	}
+	return e, nil
+}
+
+// WriteZooEntry persists e's manifest into dir (creating it), written
+// atomically via temp+rename so a concurrent reader never sees a
+// partial manifest.
+func WriteZooEntry(dir string, e ZooEntry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("attack: creating zoo dir: %w", err)
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("attack: encoding zoo entry %q: %w", e.Name, err)
+	}
+	tmp, err := os.CreateTemp(dir, e.Name+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("attack: writing zoo entry %q: %w", e.Name, err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("attack: writing zoo entry %q: %w", e.Name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("attack: writing zoo entry %q: %w", e.Name, err)
+	}
+	if err := os.Rename(tmp.Name(), zooManifestPath(dir, e.Name)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("attack: writing zoo entry %q: %w", e.Name, err)
+	}
+	return nil
+}
+
+// ZooEntries lists every archived entry in dir, sorted by name so
+// iteration order is deterministic everywhere (tables, tests, CLIs). A
+// missing directory is an empty zoo, not an error.
+func ZooEntries(dir string) ([]ZooEntry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("attack: listing zoo dir %s: %w", dir, err)
+	}
+	var names []string
+	for _, f := range files {
+		if name, ok := strings.CutSuffix(f.Name(), ".json"); ok && !f.IsDir() {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	entries := make([]ZooEntry, 0, len(names))
+	for _, name := range names {
+		e, err := ReadZooEntry(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

@@ -156,30 +156,42 @@ func Figure12() *Table {
 	return t
 }
 
-// StorageTable regenerates the Section VI-C storage comparison.
+// StorageTable regenerates the Section VI-C storage comparison over the
+// full tracker registry — every registered tracker contributes rows, so
+// a tracker added to the zoo cannot silently skip the storage analysis
+// (the zoo exhaustiveness test asserts membership).
 func StorageTable() *Table {
 	t := &Table{
 		ID: "storage", Title: "Tracker storage (paper Section VI-C / Appendix A)",
 		Header: []string{"Tracker", "Design", "Entries/bank", "Bits/entry", "KB/channel", "vs No-RP"},
 	}
-	for _, tracker := range []string{"graphene", "mithril"} {
-		for _, row := range security.StorageComparison(tracker, 4000, 80, 1) {
-			t.Rows = append(t.Rows, []string{
-				tracker, row.Design,
-				fmt.Sprintf("%d", row.Storage.EntriesPerBank),
-				fmt.Sprintf("%d", row.Storage.BitsPerEntry),
-				f1(row.Storage.ChannelKB),
-				f2(row.RelativeToNoRP),
-			})
+	for _, info := range trackers.Registry() {
+		switch info.Name {
+		case "mint":
+			t.Rows = append(t.Rows,
+				[]string{"mint", "no-rp", "1", "-", fmt.Sprintf("%d B/bank", security.MINTStorageBytes(80, 0)), "1.00"},
+				[]string{"mint", "impress-p", "1", "-", fmt.Sprintf("%d B/bank", security.MINTStorageBytes(80, clm.FracBits)), "1.25"},
+			)
+		case "para":
+			t.Rows = append(t.Rows,
+				[]string{"para", "any", "0", "-", fmt.Sprintf("%d b/bank (stateless)", security.PARAStorageBits()), "1.00"})
+		default:
+			for _, row := range security.StorageComparison(info.Name, 4000, 80, 1) {
+				t.Rows = append(t.Rows, []string{
+					info.Name, row.Design,
+					fmt.Sprintf("%d", row.Storage.EntriesPerBank),
+					fmt.Sprintf("%d", row.Storage.BitsPerEntry),
+					f1(row.Storage.ChannelKB),
+					f2(row.RelativeToNoRP),
+				})
+			}
 		}
 	}
-	t.Rows = append(t.Rows,
-		[]string{"mint", "no-rp", "1", "-", fmt.Sprintf("%d B/bank", security.MINTStorageBytes(80, 0)), "1.00"},
-		[]string{"mint", "impress-p", "1", "-", fmt.Sprintf("%d B/bank", security.MINTStorageBytes(80, clm.FracBits)), "1.25"},
-	)
 	t.Notes = append(t.Notes,
 		"paper anchors: Graphene 448 entries/115KB at TRH=4K doubling under ExPress/ImPress-N (alpha=1);",
-		"Mithril 383 entries/86KB growing ~4x; ImPress-P keeps entry counts, widening entries ~25%; MINT 4B -> 5B")
+		"Mithril 383 entries/86KB growing ~4x; ImPress-P keeps entry counts, widening entries ~25%; MINT 4B -> 5B",
+		"zoo extensions: Hydra's GCT is threshold-independent (its row counters live in DRAM);",
+		"ABACuS sizes its shared-counter table as ceil(42500/TRH) entries per bank")
 	return t
 }
 
@@ -284,24 +296,31 @@ func SecuritySummary() *Table {
 		Header: []string{"Tracker", "Defense", "Rowhammer", "RowPress(tREFI)", "RowPress(tONMax)", "Decoy"},
 	}
 	tm := dram.DDR5()
-	seed := uint64(42)
 	type tf struct {
 		name    string
 		rfmth   int
 		trh     float64
 		factory security.TrackerFactory
 	}
-	factories := []tf{
-		{"graphene", 0, 4000, func(trh float64) trackers.Tracker { return trackers.NewGraphene(trh) }},
-		{"para", 0, 4000, func(trh float64) trackers.Tracker {
+	// The matrix covers the full tracker registry (the zoo exhaustiveness
+	// test asserts membership). Each probabilistic tracker owns a private
+	// seed counter so adding a registry entry never perturbs another
+	// tracker's RNG draws.
+	var factories []tf
+	for _, info := range trackers.Registry() {
+		info := info
+		rfmth, trh := 0, float64(4000)
+		if info.InDRAM {
+			rfmth = 80
+		}
+		if info.Name == "mint" {
+			trh = trackers.MINTToleratedTRH(80)
+		}
+		seed := uint64(42)
+		factories = append(factories, tf{info.Name, rfmth, trh, func(t float64) trackers.Tracker {
 			seed++
-			return trackers.NewPARA(trh, stats.NewRand(seed))
-		}},
-		{"mithril", 80, 4000, func(trh float64) trackers.Tracker { return trackers.NewMithril(trh, 80) }},
-		{"mint", 80, trackers.MINTToleratedTRH(80), func(trh float64) trackers.Tracker {
-			seed++
-			return trackers.NewMINT(80, stats.NewRand(seed))
-		}},
+			return info.New(t, rfmth, stats.NewRand(seed))
+		}})
 	}
 	designs := []core.Design{
 		core.NewDesign(core.NoRP),

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"impress/internal/attack"
+	"impress/internal/clm"
+	"impress/internal/core"
+	"impress/internal/errs"
+	"impress/internal/resultstore"
+	"impress/internal/security"
+	"impress/internal/trackers"
+)
+
+// Attack-evaluation runs: the security harness analogue of Run. The
+// synthesis loop asks for thousands of (pattern, tracker) evaluations
+// per generation and re-asks for every survivor each generation, so the
+// same memo + persistent-store discipline that makes performance sweeps
+// resumable makes evolutionary search resumable — identical genomes are
+// cache hits, and a warm store replays a whole search without
+// simulating.
+
+// Zoo evaluation defaults: every security-margin comparison in this
+// package (the attackzoo table, the synthesis engine's fitness
+// function, the archive regression tier) evaluates under one shared
+// configuration so their numbers are comparable — ImPress-P at the
+// paper's headline TRH, the conservative long-duration alpha, and the
+// paper's RFM threshold for in-DRAM trackers.
+const (
+	// ZooDesignTRH is the evaluation threshold (the paper's headline
+	// TRH = 4000).
+	ZooDesignTRH = 4000
+	// ZooRFMTH is the RFM threshold configured for in-DRAM trackers.
+	ZooRFMTH = 80
+	// ZooSeed seeds probabilistic trackers' private RNG streams.
+	ZooSeed = 42
+)
+
+// ZooAttackSpec builds the canonical evaluation spec for a pattern
+// against a registered tracker under the shared zoo defaults. MINT
+// ignores the configured threshold entirely — its tolerated TRH is a
+// property of the RFM threshold — so its evaluations are normalized to
+// that tolerated threshold instead.
+func ZooAttackSpec(tracker, pattern string) resultstore.AttackSpec {
+	trh := float64(ZooDesignTRH)
+	rfmth := 0
+	if info, ok := trackers.ByName(tracker); ok && info.InDRAM {
+		rfmth = ZooRFMTH
+	}
+	if tracker == "mint" {
+		trh = trackers.MINTToleratedTRH(ZooRFMTH)
+	}
+	return resultstore.AttackSpec{
+		Pattern:   pattern,
+		Tracker:   tracker,
+		Design:    core.NewDesign(core.ImpressP),
+		DesignTRH: trh,
+		AlphaTrue: clm.AlphaLongDuration,
+		RFMTH:     rfmth,
+		Seed:      ZooSeed,
+	}
+}
+
+// ZooEntrySpec reconstructs the evaluation spec an archived zoo entry's
+// margins were recorded under, from its manifest fields.
+func ZooEntrySpec(e attack.ZooEntry) (resultstore.AttackSpec, error) {
+	design, err := core.ParseDesign(e.Design, clm.AlphaDeviceIndependent, 0, clm.FracBits)
+	if err != nil {
+		return resultstore.AttackSpec{}, fmt.Errorf("experiments: zoo entry %q: %w", e.Name, err)
+	}
+	return resultstore.AttackSpec{
+		Pattern:   attack.SynthSpecPrefix + e.Genome,
+		Tracker:   e.Tracker,
+		Design:    design,
+		DesignTRH: e.DesignTRH,
+		AlphaTrue: e.AlphaTrue,
+		RFMTH:     e.RFMTH,
+		Seed:      e.Seed,
+	}, nil
+}
+
+// attackEntry is one memoized (possibly in-flight) harness evaluation.
+type attackEntry struct {
+	done     chan struct{}
+	res      security.Result
+	panicked any
+}
+
+// AttackSims reports how many harness evaluations this runner actually
+// executed — memo and store hits excluded. A warm-store rerun of a
+// synthesis search keeps it at zero.
+func (r *Runner) AttackSims() int64 { return r.atkSims.Load() }
+
+// Attack executes (or recalls) one security-harness evaluation, with
+// Run's exact memoization contract: concurrent calls with the same spec
+// deduplicate, a Store resolves repeats across processes, and failures
+// or cancellation panic as a typed runAbort that the context-aware
+// entry points recover into errors. Cancelled specs are dropped from
+// the memo so a retry under a live context re-evaluates.
+func (r *Runner) Attack(spec resultstore.AttackSpec) security.Result {
+	r.checkCtx()
+	k := string(spec.Key())
+	r.atkMu.Lock()
+	if r.atkCache == nil {
+		r.atkCache = make(map[string]*attackEntry)
+	}
+	if e, ok := r.atkCache[k]; ok {
+		r.atkMu.Unlock()
+		<-e.done
+		if e.panicked != nil {
+			panic(e.panicked)
+		}
+		return e.res
+	}
+	e := &attackEntry{done: make(chan struct{})}
+	r.atkCache[k] = e
+	r.atkMu.Unlock()
+
+	defer func() {
+		if p := recover(); p != nil {
+			if a, ok := p.(*runAbort); ok && errors.Is(a.err, errs.ErrCancelled) {
+				r.atkMu.Lock()
+				delete(r.atkCache, k)
+				r.atkMu.Unlock()
+			}
+			e.panicked = p
+			close(e.done)
+			panic(p)
+		}
+		close(e.done)
+	}()
+	label := fmt.Sprintf("%s vs %s", spec.Pattern, spec.Tracker)
+	r.emit(Progress{Kind: ProgressAttackStarted, Spec: label, Key: k})
+	if r.Store != nil {
+		if res, ok := r.Store.GetAttack(spec); ok {
+			e.res = res
+			r.emit(Progress{Kind: ProgressAttackCacheHit, Spec: label, Key: k})
+			return e.res
+		}
+	}
+	cfg, pattern, err := spec.SecurityConfig()
+	if err != nil {
+		panic(&runAbort{err})
+	}
+	res, err := security.RunContext(r.runCtx(), cfg, pattern)
+	if err != nil {
+		if errors.Is(err, errs.ErrCancelled) {
+			panic(&runAbort{fmt.Errorf("experiments: sweep stopped: %w", err)})
+		}
+		panic(&runAbort{fmt.Errorf("experiments: %s: %w", label, err)})
+	}
+	e.res = res
+	r.atkSims.Add(1)
+	r.emit(Progress{Kind: ProgressAttackFinished, Spec: label, Key: k})
+	if r.Store != nil {
+		_ = r.Store.PutAttack(spec, e.res)
+	}
+	return e.res
+}
+
+// PrefetchAttacks evaluates the given specs over the runner's worker
+// pool (Prefetch's contract: deduplicated, drains on cancellation,
+// re-panics the first failure after draining).
+func (r *Runner) PrefetchAttacks(specs []resultstore.AttackSpec) {
+	seen := make(map[string]bool, len(specs))
+	var todo []resultstore.AttackSpec
+	for _, s := range specs {
+		if k := string(s.Key()); !seen[k] {
+			seen[k] = true
+			todo = append(todo, s)
+		}
+	}
+	workers := r.parallelism()
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	if workers <= 1 {
+		for _, s := range todo {
+			r.Attack(s)
+		}
+		return
+	}
+	queue := make(chan resultstore.AttackSpec, len(todo))
+	for _, s := range todo {
+		queue <- s
+	}
+	close(queue)
+	var (
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	record := func(p any) {
+		panicMu.Lock()
+		defer panicMu.Unlock()
+		if panicked == nil || isCancelAbort(panicked) && !isCancelAbort(p) {
+			panicked = p
+		}
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					record(p)
+				}
+			}()
+			for s := range queue {
+				if r.cancelled() {
+					break
+				}
+				r.Attack(s)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	r.checkCtx()
+}
+
+// EvaluateAttacks is the context-aware batch entry point: it evaluates
+// every spec (parallel, deduplicated, cache-backed) and returns results
+// in spec order. Cancellation and harness errors surface as typed
+// errors; completed evaluations stay memoized and store-written, so a
+// retried batch resumes warm. It is the evaluation seam the synthesis
+// engine and the labd attack endpoint plug into.
+func (r *Runner) EvaluateAttacks(ctx context.Context, specs []resultstore.AttackSpec) (results []security.Result, err error) {
+	defer r.bind(ctx)()
+	defer func() {
+		if p := recover(); p != nil {
+			if a, ok := p.(*runAbort); ok {
+				results, err = nil, a.err
+				return
+			}
+			panic(p)
+		}
+	}()
+	r.PrefetchAttacks(specs)
+	results = make([]security.Result, len(specs))
+	for i, s := range specs {
+		results[i] = r.Attack(s)
+	}
+	return results, nil
+}
+
+// AttackZooTable compares the paper's hand-written attack patterns
+// against the archived synthesized champions, per registered tracker —
+// the adversarial-synthesis headline: how much worse than the paper's
+// worst pattern a searched trace gets, for every tracker in the zoo.
+func AttackZooTable(r *Runner) *Table {
+	t := &Table{
+		ID: "attackzoo", Title: "Paper vs synthesized attack margins (peak damage, TRH units)",
+		Header: []string{"Tracker", "Best paper pattern", "Paper damage", "Best synthesized", "Synth damage", "Synth/paper"},
+	}
+	entries, err := attack.ZooEntries(attack.DefaultZooDir())
+	if err != nil {
+		panic(&runAbort{err})
+	}
+	names := trackers.Names()
+	var specs []resultstore.AttackSpec
+	for _, tr := range names {
+		for _, p := range attack.PaperPatternNames() {
+			specs = append(specs, ZooAttackSpec(tr, p))
+		}
+		for _, e := range entries {
+			specs = append(specs, ZooAttackSpec(tr, attack.SynthSpecPrefix+e.Genome))
+		}
+	}
+	r.PrefetchAttacks(specs)
+	for _, tr := range names {
+		var paperBest security.Result
+		var paperName string
+		for _, p := range attack.PaperPatternNames() {
+			if res := r.Attack(ZooAttackSpec(tr, p)); paperName == "" || res.MaxDamage > paperBest.MaxDamage {
+				paperBest, paperName = res, p
+			}
+		}
+		synthName, synthDamage, ratio := "-", "-", "-"
+		var synthBest security.Result
+		var bestEntry string
+		for _, e := range entries {
+			if res := r.Attack(ZooAttackSpec(tr, attack.SynthSpecPrefix+e.Genome)); bestEntry == "" || res.MaxDamage > synthBest.MaxDamage {
+				synthBest, bestEntry = res, e.Name
+			}
+		}
+		if bestEntry != "" {
+			synthName = bestEntry
+			synthDamage = f1(synthBest.MaxDamage)
+			ratio = f2(synthBest.MaxDamage / paperBest.MaxDamage)
+			if synthBest.MaxDamage > paperBest.MaxDamage {
+				ratio += " SYNTH WORSE"
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			tr, paperName, f1(paperBest.MaxDamage), synthName, synthDamage, ratio,
+		})
+	}
+	if len(entries) == 0 {
+		t.Notes = append(t.Notes, "attack zoo empty: run impress-synth to breed and archive champions")
+	} else {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%d archived champion(s); every genome is evaluated against every tracker under the shared zoo defaults", len(entries)))
+	}
+	t.Notes = append(t.Notes,
+		"a ratio > 1 means search found a strictly worse-case trace than every paper pattern for that tracker")
+	return t
+}

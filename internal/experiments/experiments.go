@@ -183,6 +183,12 @@ type Runner struct {
 	// excluded); a warm-store sweep asserts it stays zero.
 	sims atomic.Int64
 
+	// atkMu/atkCache/atkSims are the security-harness analogue of
+	// mu/cache/sims, backing Runner.Attack (see attack.go).
+	atkMu    sync.Mutex
+	atkCache map[string]*attackEntry
+	atkSims  atomic.Int64
+
 	progressMu sync.Mutex
 }
 

@@ -23,6 +23,18 @@ const (
 	// ProgressTableRendered fires when one experiment table has been
 	// assembled (context-aware entry points only).
 	ProgressTableRendered
+	// ProgressAttackStarted fires when a distinct security-harness
+	// attack spec enters evaluation (Runner.Attack). Attack events use
+	// their own kinds because harness evaluations are not performance
+	// simulations: consumers counting simulated specs (the CLI summary
+	// lines, labd's per-job counters) must not conflate the two.
+	ProgressAttackStarted
+	// ProgressAttackCacheHit fires when the attack spec resolves from
+	// the persistent result store without evaluating.
+	ProgressAttackCacheHit
+	// ProgressAttackFinished fires when the attack spec evaluates to
+	// completion on the harness.
+	ProgressAttackFinished
 )
 
 // String returns the kind's wire/log name.
@@ -36,6 +48,12 @@ func (k ProgressKind) String() string {
 		return "finished"
 	case ProgressTableRendered:
 		return "table"
+	case ProgressAttackStarted:
+		return "attack-started"
+	case ProgressAttackCacheHit:
+		return "attack-cache-hit"
+	case ProgressAttackFinished:
+		return "attack-finished"
 	default:
 		return fmt.Sprintf("ProgressKind(%d)", int(k))
 	}
@@ -45,8 +63,11 @@ func (k ProgressKind) String() string {
 // a sweep touches emits exactly one ProgressSpecStarted followed by
 // exactly one of ProgressSpecCacheHit or ProgressSpecFinished, so at any
 // parallelism started == cache-hit + finished once the sweep completes;
-// at Parallelism 1 the full event sequence is deterministic. The stream
-// replaces scraping stderr for the old ad-hoc cache accounting prints.
+// at Parallelism 1 the full event sequence is deterministic. Security-
+// harness evaluations (Runner.Attack) follow the same started →
+// cache-hit|finished lifecycle under the separate ProgressAttack*
+// kinds, so simulation counters stay honest. The stream replaces
+// scraping stderr for the old ad-hoc cache accounting prints.
 type Progress struct {
 	Kind ProgressKind
 	// Spec is the human-readable simulation label

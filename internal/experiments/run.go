@@ -62,6 +62,9 @@ func Definitions() []Definition {
 		{ID: "ablation-rfm", Analytical: true, Build: func(r *Runner) *Table {
 			return AblationRFMPacingParallel(r.parallelism())
 		}},
+		// attackzoo is likewise analytical (harness only) but uses the
+		// runner for its parallelism and its attack-evaluation cache.
+		{ID: "attackzoo", Analytical: true, Build: AttackZooTable},
 	}
 }
 

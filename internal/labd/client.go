@@ -11,6 +11,8 @@ import (
 	"strings"
 
 	"impress/internal/errs"
+	"impress/internal/resultstore"
+	"impress/internal/security"
 )
 
 // Client talks to an impress-labd daemon. Errors reconstruct the errs
@@ -98,6 +100,23 @@ func (c *Client) Submit(ctx context.Context, req SweepRequest) (Job, error) {
 	var j Job
 	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &j)
 	return j, err
+}
+
+// EvaluateAttacks submits a batch of security-harness evaluations to
+// the daemon's synchronous POST /v1/attacks endpoint and returns the
+// results in spec order. The signature matches synth.Evaluator, so a
+// synthesis search plugs a remote daemon in as its fitness function
+// unchanged — the daemon's store then makes the search resumable
+// across client restarts for free.
+func (c *Client) EvaluateAttacks(ctx context.Context, specs []resultstore.AttackSpec) ([]security.Result, error) {
+	var resp AttackResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/attacks", AttackRequest{Specs: specs}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(specs) {
+		return nil, fmt.Errorf("labd: attack response carries %d results for %d specs", len(resp.Results), len(specs))
+	}
+	return resp.Results, nil
 }
 
 // Job fetches one job's snapshot.

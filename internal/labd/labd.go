@@ -493,6 +493,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/attacks", s.handleAttacks)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -543,6 +544,53 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.snapshot())
+}
+
+// handleAttacks evaluates a batch of security-harness specs
+// synchronously: every spec is validated before anything simulates (a
+// bad batch is a pure 400), then the batch runs through a fresh runner
+// bound to the daemon's store, so identical specs — within the batch,
+// across batches, across daemons sharing a store directory — evaluate
+// once. Shutdown cancels in-flight batches through the job context,
+// and draining refuses new ones, the same lifecycle sweeps get.
+func (s *Server) handleAttacks(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeError(w, errDraining)
+		return
+	}
+	var req AttackRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("labd: %w: malformed attack request: %w", errs.ErrBadSpec, err))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, fmt.Errorf("labd: %w: attack request has no specs", errs.ErrBadSpec))
+		return
+	}
+	for i := range req.Specs {
+		if err := req.Specs[i].Validate(); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	runner := experiments.NewRunner(experiments.QuickScale())
+	runner.Store = s.store
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.jobCtx, cancel)
+	defer stop()
+	results, err := runner.EvaluateAttacks(ctx, req.Specs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.logf("labd: attacks: specs=%d simulated=%d", len(req.Specs), runner.AttackSims())
+	writeJSON(w, http.StatusOK, AttackResponse{Results: results, Simulated: runner.AttackSims()})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {

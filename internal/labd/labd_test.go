@@ -11,8 +11,17 @@ import (
 	"testing"
 	"time"
 
+	"impress/internal/attack"
 	"impress/internal/errs"
+	"impress/internal/experiments"
+	"impress/internal/resultstore"
+	"impress/internal/synth"
 )
+
+// The labd client is a drop-in fitness function for the synthesis
+// engine: a search runs against a remote daemon by swapping the local
+// runner for a Client.
+var _ synth.Evaluator = (*Client)(nil)
 
 // newTestDaemon boots a Server over httptest and returns a Client
 // pointed at it. Shutdown and listener teardown are registered as
@@ -331,6 +340,74 @@ func TestDaemonGoldenAndWarmResubmit(t *testing.T) {
 	}
 	if replayFirst != lastSeq/2 {
 		t.Fatalf("replay from %d started at seq %d", lastSeq/2, replayFirst)
+	}
+}
+
+// TestAttackEndpoint pins the synchronous attack-evaluation API: a
+// valid batch evaluates in spec order, an identical resubmit against
+// the daemon's store simulates nothing, and bad batches are typed
+// 400s that never reach the harness.
+func TestAttackEndpoint(t *testing.T) {
+	_, c := newTestDaemon(t, Config{CacheDir: t.TempDir(), Workers: 2})
+	ctx := context.Background()
+
+	patterns := attack.PaperPatternNames()[:2]
+	specs := []resultstore.AttackSpec{
+		experiments.ZooAttackSpec("graphene", patterns[0]),
+		experiments.ZooAttackSpec("graphene", patterns[1]),
+	}
+	results, err := c.EvaluateAttacks(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	for i, res := range results {
+		if res.MaxDamage <= 0 {
+			t.Errorf("result %d reports damage %v, want > 0", i, res.MaxDamage)
+		}
+	}
+
+	// The remote answers must be exactly what a local evaluation
+	// produces, in spec order — the "same spec runs locally and on a
+	// fleet" contract.
+	local, err := experiments.NewRunner(experiments.QuickScale()).EvaluateAttacks(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range local {
+		if results[i].Pattern != local[i].Pattern || results[i].MaxDamage != local[i].MaxDamage {
+			t.Errorf("spec %d: remote (%q, %v) != local (%q, %v)", i,
+				results[i].Pattern, results[i].MaxDamage, local[i].Pattern, local[i].MaxDamage)
+		}
+	}
+
+	// Warm resubmit: the daemon's store serves the whole batch.
+	var warm AttackResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/attacks", AttackRequest{Specs: specs}, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Simulated != 0 {
+		t.Fatalf("warm resubmit simulated %d specs, want 0", warm.Simulated)
+	}
+	if len(warm.Results) != len(results) || warm.Results[0].MaxDamage != results[0].MaxDamage {
+		t.Fatal("warm results differ from the cold run")
+	}
+
+	// Bad batches: unknown tracker, malformed genome, empty request.
+	bad := experiments.ZooAttackSpec("graphene", patterns[0])
+	bad.Tracker = "nope"
+	if _, err := c.EvaluateAttacks(ctx, []resultstore.AttackSpec{bad}); !errors.Is(err, errs.ErrBadSpec) {
+		t.Errorf("unknown tracker error = %v, want errs.ErrBadSpec", err)
+	}
+	if _, err := c.EvaluateAttacks(ctx, []resultstore.AttackSpec{
+		experiments.ZooAttackSpec("graphene", attack.SynthSpecPrefix+"garbage"),
+	}); !errors.Is(err, errs.ErrBadSpec) {
+		t.Errorf("malformed genome error = %v, want errs.ErrBadSpec", err)
+	}
+	if _, err := c.EvaluateAttacks(ctx, nil); !errors.Is(err, errs.ErrBadSpec) {
+		t.Errorf("empty batch error = %v, want errs.ErrBadSpec", err)
 	}
 }
 

@@ -5,6 +5,11 @@ package labd
 // cannot drift; impress.go aliases the caller-facing ones into the
 // public API.
 
+import (
+	"impress/internal/resultstore"
+	"impress/internal/security"
+)
+
 // SweepRequest is the POST /v1/sweeps body: the same selection the
 // impress-experiments CLI takes, submitted over the wire. The zero
 // value is the full quick-scale sweep.
@@ -111,6 +116,27 @@ type RenderedTable struct {
 type TablesResponse struct {
 	State  JobState        `json:"state"`
 	Tables []RenderedTable `json:"tables"`
+}
+
+// AttackRequest is the POST /v1/attacks body: a batch of
+// security-harness evaluations, each fully self-describing (pattern,
+// tracker, design point, seed), so the daemon needs no job state — it
+// evaluates synchronously against its shared result store. This is how
+// a synthesis search runs its fitness function on a remote daemon:
+// identical specs are store hits, so a resubmitted or resumed search
+// simulates only what the fleet has never seen.
+type AttackRequest struct {
+	Specs []resultstore.AttackSpec `json:"specs"`
+}
+
+// AttackResponse is the POST /v1/attacks reply: one result per
+// requested spec, in request order.
+type AttackResponse struct {
+	Results []security.Result `json:"results"`
+	// Simulated counts the specs this request actually ran through the
+	// harness; the rest were served from the daemon's store. A fully
+	// warm batch reports 0.
+	Simulated int64 `json:"simulated"`
 }
 
 // errorBody is the JSON body of every non-2xx response.

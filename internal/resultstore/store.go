@@ -38,8 +38,11 @@ type record struct {
 	Key Key `json:"key"`
 	// Spec is the full canonical run description (the key preimage). In
 	// checkpoint records it is the reduced checkpoint spec (run budget
-	// and sampling fields cleared).
+	// and sampling fields cleared). Attack records leave it zero and
+	// carry Attack instead.
 	Spec Spec `json:"spec"`
+	// Attack is the security-evaluation spec (attack records only).
+	Attack *AttackSpec `json:"attack,omitempty"`
 	// Producer identifies the build that simulated the entry (VCS
 	// revision when available). Informational only: it never invalidates
 	// an entry — FormatVersion does that — but `cache stats` reports it
@@ -61,6 +64,7 @@ type Store struct {
 
 	hits, misses, writes, writeErrors atomic.Int64
 	ckptHits, ckptMisses, ckptWrites  atomic.Int64
+	atkHits, atkMisses, atkWrites     atomic.Int64
 
 	// afterMkdir, when non-nil, runs between writeEntry's MkdirAll and
 	// its CreateTemp. Tests use it to interleave a GC sweep into the
@@ -80,6 +84,11 @@ type Counters struct {
 	Hits, Misses, Writes, WriteErrors int64
 
 	CheckpointHits, CheckpointMisses, CheckpointWrites int64
+
+	// The attack counters track security-harness evaluation caching
+	// (GetAttack/PutAttack), which the synthesis loop reports as its
+	// simulated-vs-cached split.
+	AttackHits, AttackMisses, AttackWrites int64
 }
 
 // Open returns a Store rooted at dir, creating the directory if needed.
@@ -137,6 +146,9 @@ func (st *Store) Counters() Counters {
 		CheckpointHits:   st.ckptHits.Load(),
 		CheckpointMisses: st.ckptMisses.Load(),
 		CheckpointWrites: st.ckptWrites.Load(),
+		AttackHits:       st.atkHits.Load(),
+		AttackMisses:     st.atkMisses.Load(),
+		AttackWrites:     st.atkWrites.Load(),
 	}
 }
 
@@ -184,6 +196,10 @@ func readRecord(path string) (record, bool) {
 		}
 	case KindCheckpoint:
 		if rec.Key != rec.Spec.CheckpointKey() || len(rec.Payload) == 0 {
+			return record{}, false
+		}
+	case KindAttack:
+		if rec.Attack == nil || rec.Key != rec.Attack.Key() || len(rec.Payload) == 0 {
 			return record{}, false
 		}
 	default:

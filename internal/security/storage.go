@@ -22,6 +22,13 @@ const BanksPerChannel = 64
 const (
 	grapheneCounterBits = 16 // 17 + 16 = 33 bits/entry -> 115.5 KB/channel
 	mithrilCounterBits  = 12 // 17 + 12 = 29 bits/entry -> 86.7 KB/channel
+	// hydraGroupBits sizes a GCT counter: it only ever counts up to the
+	// group-spill threshold (T*/4), so 12 bits cover every configuration
+	// of interest; no row address is stored (groups are indexed by hash).
+	hydraGroupBits = 12
+	// abacusCounterBits matches the ABACuS paper's 16-bit row activation
+	// counters.
+	abacusCounterBits = 16
 )
 
 // TrackerStorage describes the SRAM cost of one tracker configuration.
@@ -64,6 +71,37 @@ func MithrilStorage(trh float64, rfmth, fracBits int) TrackerStorage {
 	}
 }
 
+// HydraStorage returns Hydra's SRAM cost when tolerating trh with
+// fracBits fractional counter bits: the per-bank GCT shard (the
+// row-count table lives in DRAM and the row-count cache is a
+// performance structure, so neither is SRAM tracking state). The GCT is
+// threshold-independent in entry count — lowering T* deepens counters
+// by at most a bit — so Hydra's appeal is exactly that its SRAM barely
+// moves with the threshold.
+func HydraStorage(trh float64, fracBits int) TrackerStorage {
+	_ = trh // entry count is threshold-independent; see above
+	bits := hydraGroupBits + fracBits
+	return TrackerStorage{
+		Tracker:        "hydra",
+		EntriesPerBank: trackers.HydraGroups,
+		BitsPerEntry:   bits,
+		ChannelKB:      channelKB(trackers.HydraGroups, bits),
+	}
+}
+
+// ABACuSStorage returns the ABACuS per-bank table shard's cost when
+// tolerating trh with fracBits fractional counter bits.
+func ABACuSStorage(trh float64, fracBits int) TrackerStorage {
+	entries := trackers.ABACuSEntries(trh)
+	bits := trackers.RowAddressBits + abacusCounterBits + fracBits
+	return TrackerStorage{
+		Tracker:        "abacus",
+		EntriesPerBank: entries,
+		BitsPerEntry:   bits,
+		ChannelKB:      channelKB(entries, bits),
+	}
+}
+
 // MINTStorageBytes returns MINT's per-bank register cost in bytes: SAR
 // (row address), SAN (slot number) and CAN (activation count, which gains
 // the fractional bits under ImPress-P). The paper's Section VI-C: 4 bytes
@@ -97,8 +135,12 @@ func StorageComparison(tracker string, designTRH float64, rfmth int, alpha float
 			return GrapheneStorage(trh, frac)
 		case "mithril":
 			return MithrilStorage(trh, rfmth, frac)
+		case "hydra":
+			return HydraStorage(trh, frac)
+		case "abacus":
+			return ABACuSStorage(trh, frac)
 		default:
-			panic("security: storage comparison supports graphene and mithril")
+			panic("security: storage comparison supports the counter-table trackers (graphene, mithril, hydra, abacus)")
 		}
 	}
 	base := calc(designTRH, 0)

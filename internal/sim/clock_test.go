@@ -30,6 +30,8 @@ var clockCases = []struct {
 	{"add", core.ImpressP, TrackerMithril, 4000},
 	{"xalancbmk", core.ImpressN, TrackerGraphene, 4000},
 	{"mcf", core.ImpressP, TrackerGraphene, 100},
+	{"mcf", core.ImpressP, TrackerHydra, 4000},
+	{"copy", core.ImpressP, TrackerABACuS, 4000},
 }
 
 func clockConfig(t *testing.T, workload string, kind core.Kind, tracker TrackerKind, trh float64) Config {

@@ -27,13 +27,19 @@ import (
 // TrackerKind names a tracker configuration.
 type TrackerKind string
 
-// The tracker configurations of the paper's evaluation.
+// The tracker configurations of the paper's evaluation plus the
+// extended zoo. Every kind except TrackerNone must name an entry in the
+// trackers registry (trackers.ByName) — Validate and trackerFactory are
+// registry-driven, so a tracker registered there is automatically
+// simulatable (the zoo exhaustiveness test asserts it).
 const (
 	TrackerNone     TrackerKind = "none"
 	TrackerGraphene TrackerKind = "graphene"
 	TrackerPARA     TrackerKind = "para"
 	TrackerMithril  TrackerKind = "mithril"
 	TrackerMINT     TrackerKind = "mint"
+	TrackerHydra    TrackerKind = "hydra"
+	TrackerABACuS   TrackerKind = "abacus"
 )
 
 // ClockMode selects the stepping strategy of the top-level run loop.
@@ -144,10 +150,11 @@ func (cfg Config) Validate() error {
 			return fmt.Errorf("sim: %w: need at least one core (got %d)", errs.ErrBadSpec, cfg.Cores)
 		}
 	}
-	switch cfg.Tracker {
-	case TrackerNone, TrackerGraphene, TrackerPARA, TrackerMithril, TrackerMINT:
-	default:
-		return fmt.Errorf("sim: %w: unknown tracker %q", errs.ErrBadSpec, cfg.Tracker)
+	if cfg.Tracker != TrackerNone {
+		if _, ok := trackers.ByName(string(cfg.Tracker)); !ok {
+			return fmt.Errorf("sim: %w: unknown tracker %q (have none, %s)",
+				errs.ErrBadSpec, cfg.Tracker, strings.Join(trackers.Names(), ", "))
+		}
 	}
 	switch cfg.Clock {
 	case ClockEventDriven, ClockCycleAccurate, ClockLockstep, ClockSampled:
@@ -395,19 +402,12 @@ func trackerFactory(cfg Config, rng *stats.Rand) memctrl.TrackerFactory {
 	if cfg.Tracker == TrackerNone {
 		return nil
 	}
-	trh := cfg.Design.TrackerTRH(cfg.DesignTRH)
-	switch cfg.Tracker {
-	case TrackerGraphene:
-		return func(int) trackers.Tracker { return trackers.NewGraphene(trh) }
-	case TrackerPARA:
-		return func(int) trackers.Tracker { return trackers.NewPARA(trh, rng.Split()) }
-	case TrackerMithril:
-		return func(int) trackers.Tracker { return trackers.NewMithril(trh, cfg.RFMTH) }
-	case TrackerMINT:
-		return func(int) trackers.Tracker { return trackers.NewMINT(cfg.RFMTH, rng.Split()) }
-	default:
+	info, ok := trackers.ByName(string(cfg.Tracker))
+	if !ok {
 		panic(fmt.Sprintf("sim: unknown tracker %q", cfg.Tracker))
 	}
+	trh := cfg.Design.TrackerTRH(cfg.DesignTRH)
+	return func(int) trackers.Tracker { return info.New(trh, cfg.RFMTH, rng) }
 }
 
 // Version implements cpu.MemorySystem: cores cache CanAccept-blocked

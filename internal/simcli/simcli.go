@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"impress"
@@ -22,6 +23,7 @@ import (
 	"impress/internal/resultstore"
 	"impress/internal/sim"
 	"impress/internal/trace"
+	"impress/internal/trackers"
 )
 
 // Flags collects the simulation parameters every sim-driving CLI shares.
@@ -51,7 +53,7 @@ type Flags struct {
 // returns the struct the parsed values land in.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	fs.StringVar(&f.Tracker, "tracker", "graphene", "tracker: none, graphene, para, mithril, mint")
+	fs.StringVar(&f.Tracker, "tracker", "graphene", "tracker: none, "+strings.Join(trackers.Names(), ", "))
 	fs.StringVar(&f.Design, "design", "no-rp", "defense: no-rp, express, impress-n, impress-p")
 	fs.Float64Var(&f.Alpha, "alpha", 1.0, "CLM alpha for express/impress-n threshold retuning")
 	fs.Int64Var(&f.TMRONs, "tmro", 0, "ExPress tMRO in ns (default tRAS+tRC)")

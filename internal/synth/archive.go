@@ -1,0 +1,101 @@
+package synth
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+
+	"impress/internal/attack"
+	"impress/internal/errs"
+	"impress/internal/experiments"
+	"impress/internal/trace"
+)
+
+// Archive rendering parameters: every archived trace is recorded the
+// same way so replays are comparable. Two aggressor cores keep the
+// artifact small while still exercising cross-bank contention, and the
+// fixed seed keeps re-rendering reproducible (attack generators are
+// deterministic, so the seed only labels the header).
+const (
+	ArchiveCores     = 2
+	ArchivePerCore   = 8192
+	ArchiveTraceSeed = 1
+	// ArchiveTolerance is the relative margin drift the regression tier
+	// allows on replay. The harness is deterministic; this only absorbs
+	// float-ordering noise across architectures.
+	ArchiveTolerance = 1e-9
+)
+
+// Archive persists a completed search's champion into the attack zoo at
+// dir: the rendered v2 trace under "<name>.trace" and the manifest
+// under "<name>.json", with name = "<tracker>-<first 12 hex of the
+// evaluation key>". Archiving the same champion twice converges on the
+// same entry (content-keyed name, atomic manifest write). The archived
+// entry immediately becomes a regression workload: the
+// "attackzoo:<name>" workload spec resolves it, and the archive
+// regression tier replays it against its recorded margins.
+func Archive(ctx context.Context, dir string, rep Report) (attack.ZooEntry, error) {
+	if rep.Champion == "" || len(rep.ChampionKey) < 12 {
+		return attack.ZooEntry{}, fmt.Errorf("synth: %w: report has no champion to archive", errs.ErrBadSpec)
+	}
+	entry := attack.ZooEntry{
+		Name:            rep.Tracker + "-" + rep.ChampionKey[:12],
+		Genome:          rep.Champion,
+		Tracker:         rep.Tracker,
+		Design:          rep.ChampionSpec.Design.Kind.String(),
+		DesignTRH:       rep.ChampionSpec.DesignTRH,
+		AlphaTrue:       rep.ChampionSpec.AlphaTrue,
+		RFMTH:           rep.ChampionSpec.RFMTH,
+		Seed:            rep.ChampionSpec.Seed,
+		MaxDamage:       rep.ChampionDamage,
+		Slowdown:        rep.ChampionSlowdown,
+		PaperBestDamage: rep.PaperBestDamage,
+		Tolerance:       ArchiveTolerance,
+	}
+	// The manifest must reconstruct the exact evaluation spec the
+	// margins were measured under; verify the round trip before writing
+	// anything.
+	if spec, err := experiments.ZooEntrySpec(entry); err != nil {
+		return attack.ZooEntry{}, err
+	} else if string(spec.Key()) != rep.ChampionKey {
+		return attack.ZooEntry{}, fmt.Errorf("synth: manifest for %q does not round-trip to key %s",
+			entry.Name, rep.ChampionKey)
+	}
+	w, err := trace.WorkloadByName("attack:" + rep.ChampionSpec.Pattern)
+	if err != nil {
+		return attack.ZooEntry{}, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return attack.ZooEntry{}, fmt.Errorf("synth: creating zoo dir: %w", err)
+	}
+	tracePath := attack.ZooTracePath(dir, entry.Name)
+	if err := trace.RecordFile(ctx, w, ArchiveCores, ArchivePerCore, ArchiveTraceSeed, tracePath); err != nil {
+		return attack.ZooEntry{}, fmt.Errorf("synth: rendering %q: %w", entry.Name, err)
+	}
+	sum, err := fileSHA256(tracePath)
+	if err != nil {
+		return attack.ZooEntry{}, err
+	}
+	entry.TraceSHA256 = sum
+	if err := attack.WriteZooEntry(dir, entry); err != nil {
+		return attack.ZooEntry{}, err
+	}
+	return entry, nil
+}
+
+// fileSHA256 returns the hex digest of a file's contents.
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("synth: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("synth: hashing %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

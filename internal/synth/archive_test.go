@@ -1,0 +1,65 @@
+package synth
+
+import (
+	"context"
+	"testing"
+
+	"impress/internal/attack"
+	"impress/internal/experiments"
+	"impress/internal/trace"
+)
+
+func TestArchiveRoundTrip(t *testing.T) {
+	rep, err := Synthesize(context.Background(), testConfig("abacus"))
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	dir := t.TempDir()
+	entry, err := Archive(context.Background(), dir, rep)
+	if err != nil {
+		t.Fatalf("Archive: %v", err)
+	}
+	if want := rep.Tracker + "-" + rep.ChampionKey[:12]; entry.Name != want {
+		t.Fatalf("entry name %q, want %q", entry.Name, want)
+	}
+
+	// The manifest reloads and reconstructs the champion's evaluation
+	// spec exactly (same content key).
+	back, err := attack.ReadZooEntry(dir, entry.Name)
+	if err != nil {
+		t.Fatalf("ReadZooEntry: %v", err)
+	}
+	spec, err := experiments.ZooEntrySpec(back)
+	if err != nil {
+		t.Fatalf("ZooEntrySpec: %v", err)
+	}
+	if string(spec.Key()) != rep.ChampionKey {
+		t.Fatalf("reloaded entry keys to %s, want %s", spec.Key(), rep.ChampionKey)
+	}
+
+	// The rendered trace decodes, carries the canonical workload name,
+	// and matches the recorded digest.
+	tr, err := trace.ReadFile(attack.ZooTracePath(dir, entry.Name))
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if want := "attack:" + attack.SynthSpecPrefix + entry.Genome; tr.Name != want {
+		t.Fatalf("trace workload %q, want %q", tr.Name, want)
+	}
+	sum, err := fileSHA256(attack.ZooTracePath(dir, entry.Name))
+	if err != nil {
+		t.Fatalf("fileSHA256: %v", err)
+	}
+	if sum != entry.TraceSHA256 {
+		t.Fatalf("trace digest %s, manifest says %s", sum, entry.TraceSHA256)
+	}
+
+	// Re-archiving the same report converges on the same entry.
+	again, err := Archive(context.Background(), dir, rep)
+	if err != nil {
+		t.Fatalf("re-Archive: %v", err)
+	}
+	if again != entry {
+		t.Fatalf("re-archive diverged:\n%+v\n%+v", again, entry)
+	}
+}

@@ -1,0 +1,356 @@
+package synth
+
+import (
+	"context"
+	"fmt"
+
+	"impress/internal/attack"
+	"impress/internal/experiments"
+	"impress/internal/resultstore"
+	"impress/internal/security"
+	"impress/internal/stats"
+)
+
+// Synthesize runs the evolutionary search described by cfg: a seeded
+// population (paper-shaped archetypes plus random genomes) evolved by
+// tournament selection, one-point crossover and bounded mutation, with
+// the per-generation elite carried over unchanged. Fitness is the peak
+// victim damage the genome achieves against the target tracker under
+// the shared zoo evaluation defaults — higher is worse for the
+// defender, which is the point.
+//
+// The search is deterministic in (cfg.Tracker, cfg.Seed, budget):
+// every random draw comes from one seeded stats.Rand stream and ties
+// rank canonically, so two runs anywhere produce byte-identical
+// champions (CI asserts exactly this).
+func Synthesize(ctx context.Context, cfg Config) (Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Tracker: cfg.Tracker, Generations: cfg.Generations}
+
+	// Baseline: the worst paper pattern against this tracker.
+	paperSpecs := make([]resultSpec, 0, len(attack.PaperPatternNames()))
+	for _, name := range attack.PaperPatternNames() {
+		paperSpecs = append(paperSpecs, resultSpec{name: name,
+			spec: experiments.ZooAttackSpec(cfg.Tracker, name)})
+	}
+	paperResults, err := evaluate(ctx, cfg.Evaluator, paperSpecs)
+	if err != nil {
+		return Report{}, err
+	}
+	rep.Evaluated += len(paperSpecs)
+	for i, r := range paperResults {
+		if i == 0 || r.MaxDamage > rep.PaperBestDamage {
+			rep.PaperBestDamage = r.MaxDamage
+			rep.PaperBestPattern = paperSpecs[i].name
+		}
+	}
+
+	rng := stats.NewRand(cfg.Seed)
+	pop := seedPopulation(rng, cfg.Population)
+	for gen := 0; gen < cfg.Generations; gen++ {
+		scored, err := scorePopulation(ctx, cfg, pop)
+		if err != nil {
+			return Report{}, err
+		}
+		rep.Evaluated += len(pop)
+		gs := GenStats{Gen: gen}
+		var sum float64
+		for i, s := range scored {
+			sum += s.fitness
+			if i == 0 {
+				gs.Best = s.fitness
+				gs.Champion = s.genome.String()
+			}
+		}
+		gs.Mean = sum / float64(len(scored))
+		rep.History = append(rep.History, gs)
+		if cfg.OnGeneration != nil {
+			cfg.OnGeneration(gs)
+		}
+		if best := scored[0]; rep.Champion == "" || better(best.fitness, best.genome.String(), rep.ChampionDamage, rep.Champion) {
+			rep.Champion = best.genome.String()
+			rep.ChampionDamage = best.fitness
+			rep.ChampionSlowdown = best.slowdown
+			rep.ChampionSpec = genomeSpec(cfg.Tracker, best.genome)
+			rep.ChampionKey = string(rep.ChampionSpec.Key())
+		}
+		if gen == cfg.Generations-1 {
+			break
+		}
+		pop = nextGeneration(rng, cfg, scored)
+	}
+	return rep, nil
+}
+
+// resultSpec pairs a display name with its evaluation spec.
+type resultSpec struct {
+	name string
+	spec resultstore.AttackSpec
+}
+
+// evaluate runs a batch through the evaluator, checking arity — a
+// malformed remote evaluator must fail loudly, not mis-assign fitness.
+func evaluate(ctx context.Context, ev Evaluator, specs []resultSpec) ([]security.Result, error) {
+	raw := make([]resultstore.AttackSpec, len(specs))
+	for i, s := range specs {
+		raw[i] = s.spec
+	}
+	results, err := ev.EvaluateAttacks(ctx, raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(specs) {
+		return nil, fmt.Errorf("synth: evaluator returned %d results for %d specs", len(results), len(specs))
+	}
+	return results, nil
+}
+
+// scored is one genome with its measured fitness.
+type scoredGenome struct {
+	genome   attack.Genome
+	fitness  float64
+	slowdown float64
+}
+
+// better ranks (fitness, canonical string) pairs: higher fitness wins,
+// and exact ties rank by the shorter-then-lexicographically-smaller
+// canonical string, so ranking is a total order independent of
+// population order and map iteration.
+func better(f1 float64, s1 string, f2 float64, s2 string) bool {
+	if f1 != f2 {
+		return f1 > f2
+	}
+	if len(s1) != len(s2) {
+		return len(s1) < len(s2)
+	}
+	return s1 < s2
+}
+
+// scorePopulation evaluates a generation and returns it sorted
+// best-first under the canonical ranking.
+func scorePopulation(ctx context.Context, cfg Config, pop []attack.Genome) ([]scoredGenome, error) {
+	specs := make([]resultSpec, len(pop))
+	for i, g := range pop {
+		specs[i] = resultSpec{name: g.String(), spec: genomeSpec(cfg.Tracker, g)}
+	}
+	results, err := evaluate(ctx, cfg.Evaluator, specs)
+	if err != nil {
+		return nil, err
+	}
+	scored := make([]scoredGenome, len(pop))
+	for i, r := range results {
+		scored[i] = scoredGenome{genome: pop[i], fitness: r.MaxDamage, slowdown: r.Slowdown()}
+	}
+	// Insertion sort under the canonical total order: populations are
+	// tens of genomes, and the canonical ranking makes the result
+	// independent of input order for tied fitness.
+	for i := 1; i < len(scored); i++ {
+		for j := i; j > 0 && better(scored[j].fitness, scored[j].genome.String(),
+			scored[j-1].fitness, scored[j-1].genome.String()); j-- {
+			scored[j], scored[j-1] = scored[j-1], scored[j]
+		}
+	}
+	return scored, nil
+}
+
+// nextGeneration breeds the following population: the elite survives
+// unchanged, every other slot is tournament-selected parents crossed
+// and mutated.
+func nextGeneration(rng *stats.Rand, cfg Config, scored []scoredGenome) []attack.Genome {
+	next := make([]attack.Genome, 0, cfg.Population)
+	next = append(next, scored[0].genome.Clone())
+	for len(next) < cfg.Population {
+		a := tournament(rng, cfg.TournamentK, scored)
+		b := tournament(rng, cfg.TournamentK, scored)
+		child := crossover(rng, a, b)
+		child = Mutate(rng, child)
+		next = append(next, child)
+	}
+	return next
+}
+
+// tournament picks the best of K uniform draws.
+func tournament(rng *stats.Rand, k int, scored []scoredGenome) attack.Genome {
+	best := rng.Intn(len(scored))
+	for i := 1; i < k; i++ {
+		if c := rng.Intn(len(scored)); c < best {
+			best = c // scored is sorted best-first, so a lower index wins
+		}
+	}
+	return scored[best].genome
+}
+
+// crossover mixes two parents: header fields picked per-field, slot
+// schedule spliced at one point, child clamped back into bounds.
+func crossover(rng *stats.Rand, a, b attack.Genome) attack.Genome {
+	child := attack.Genome{
+		Aggressors:  pick(rng, a.Aggressors, b.Aggressors),
+		Spacing:     pick(rng, a.Spacing, b.Spacing),
+		DecoySpread: pick(rng, a.DecoySpread, b.DecoySpread),
+	}
+	cutA := rng.Intn(len(a.Slots) + 1)
+	cutB := rng.Intn(len(b.Slots) + 1)
+	child.Slots = append(child.Slots, a.Slots[:cutA]...)
+	child.Slots = append(child.Slots, b.Slots[cutB:]...)
+	if len(child.Slots) == 0 {
+		child.Slots = []attack.Slot{{Agg: 0}}
+	}
+	if len(child.Slots) > attack.MaxSlots {
+		child.Slots = child.Slots[:attack.MaxSlots]
+	}
+	return repair(child)
+}
+
+func pick(rng *stats.Rand, a, b int) int {
+	if rng.Bernoulli(0.5) {
+		return a
+	}
+	return b
+}
+
+// Mutate applies one random bounded mutation and returns a genome that
+// is always valid — the closure property FuzzMutate locks in: any
+// mutation sequence applied to a valid genome renders, encodes and
+// replays. The input is not modified.
+func Mutate(rng *stats.Rand, g attack.Genome) attack.Genome {
+	g = g.Clone()
+	switch rng.Intn(8) {
+	case 0: // grow/shrink the aggressor set
+		if rng.Bernoulli(0.5) {
+			g.Aggressors++
+		} else {
+			g.Aggressors--
+		}
+	case 1: // retune aggressor spacing
+		g.Spacing = 1 + rng.Intn(attack.MaxSpacing)
+	case 2: // rescale the decoy population
+		if rng.Bernoulli(0.5) {
+			g.DecoySpread *= 2
+		} else {
+			g.DecoySpread /= 2
+		}
+	case 3: // insert a fresh slot
+		if len(g.Slots) < attack.MaxSlots {
+			at := rng.Intn(len(g.Slots) + 1)
+			s := randomSlot(rng, g.Aggressors)
+			g.Slots = append(g.Slots[:at], append([]attack.Slot{s}, g.Slots[at:]...)...)
+		}
+	case 4: // drop a slot
+		if len(g.Slots) > 1 {
+			at := rng.Intn(len(g.Slots))
+			g.Slots = append(g.Slots[:at], g.Slots[at+1:]...)
+		}
+	case 5: // retarget a slot
+		s := &g.Slots[rng.Intn(len(g.Slots))]
+		s.Agg = rng.Intn(g.Aggressors+1) - 1
+	case 6: // perturb a slot's pacing
+		s := &g.Slots[rng.Intn(len(g.Slots))]
+		if rng.Bernoulli(0.5) {
+			s.TONTrc = randomTON(rng)
+		} else {
+			s.GapTrc = randomGap(rng)
+		}
+	case 7: // toggle the alignment trick
+		s := &g.Slots[rng.Intn(len(g.Slots))]
+		s.Align = !s.Align
+	}
+	return repair(g)
+}
+
+// repair clamps a genome back into Validate's bounds; it is the
+// closure step every operator funnels through.
+func repair(g attack.Genome) attack.Genome {
+	g.Aggressors = clamp(g.Aggressors, 1, attack.MaxAggressors)
+	g.Spacing = clamp(g.Spacing, 1, attack.MaxSpacing)
+	g.DecoySpread = clamp(g.DecoySpread, 1, attack.MaxDecoySpread)
+	for i := range g.Slots {
+		s := &g.Slots[i]
+		s.Agg = clamp(s.Agg, -1, g.Aggressors-1)
+		s.TONTrc = clamp(s.TONTrc, 0, attack.MaxTONTrc)
+		s.GapTrc = clamp(s.GapTrc, 0, attack.MaxGapTrc)
+	}
+	return g
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// tonChoices biases row-open holds toward the structurally interesting
+// values: pure hammering (0), sub-tREFI holds, one tREFI (~45 tRC under
+// DDR5 defaults) and the force-close extremes.
+var tonChoices = []int{0, 0, 0, 1, 2, 4, 8, 16, 45, 90, 203, attack.MaxTONTrc}
+
+func randomTON(rng *stats.Rand) int { return tonChoices[rng.Intn(len(tonChoices))] }
+
+var gapChoices = []int{0, 0, 0, 0, 1, 2, 4, 8, 16}
+
+func randomGap(rng *stats.Rand) int { return gapChoices[rng.Intn(len(gapChoices))] }
+
+func randomSlot(rng *stats.Rand, aggressors int) attack.Slot {
+	return attack.Slot{
+		Agg:    rng.Intn(aggressors+1) - 1,
+		TONTrc: randomTON(rng),
+		GapTrc: randomGap(rng),
+		Align:  rng.Bernoulli(0.25),
+	}
+}
+
+// seedPopulation builds the initial generation: paper-shaped archetypes
+// (double-sided hammer, long-hold press, aligned decoy flood,
+// many-sided sweep, interleaved burst-and-hold, decoy-thrash) followed
+// by random genomes. Seeding with the shapes the paper already
+// considers pushes the search to refine and recombine them instead of
+// rediscovering them from noise.
+func seedPopulation(rng *stats.Rand, n int) []attack.Genome {
+	archetypes := []attack.Genome{
+		// Double-sided Rowhammer: two aggressors sharing victims.
+		{Aggressors: 2, Spacing: 2, DecoySpread: 1,
+			Slots: []attack.Slot{{Agg: 0}, {Agg: 1}}},
+		// Row-Press: one aggressor held ~one tREFI per ACT.
+		{Aggressors: 1, Spacing: 2, DecoySpread: 1,
+			Slots: []attack.Slot{{Agg: 0, TONTrc: 45}}},
+		// Aligned decoy flood: hammer, then rotate aligned decoys.
+		{Aggressors: 1, Spacing: 2, DecoySpread: 64,
+			Slots: []attack.Slot{{Agg: 0}, {Agg: -1, Align: true}, {Agg: -1, Align: true}}},
+		// Many-sided sweep.
+		{Aggressors: 8, Spacing: 2, DecoySpread: 1, Slots: []attack.Slot{
+			{Agg: 0}, {Agg: 1}, {Agg: 2}, {Agg: 3}, {Agg: 4}, {Agg: 5}, {Agg: 6}, {Agg: 7}}},
+		// Interleaved burst-and-hold.
+		{Aggressors: 2, Spacing: 2, DecoySpread: 1, Slots: []attack.Slot{
+			{Agg: 0}, {Agg: 1}, {Agg: 0}, {Agg: 1}, {Agg: 0, TONTrc: 45}}},
+		// Decoy thrash: wide rotating decoy population squeezed between
+		// aggressor hits — aimed at finite shared counter tables.
+		{Aggressors: 2, Spacing: 2, DecoySpread: attack.MaxDecoySpread, Slots: []attack.Slot{
+			{Agg: 0}, {Agg: -1}, {Agg: -1}, {Agg: -1}, {Agg: 1}, {Agg: -1}, {Agg: -1}, {Agg: -1}}},
+	}
+	pop := make([]attack.Genome, 0, n)
+	for _, a := range archetypes {
+		if len(pop) == n {
+			break
+		}
+		pop = append(pop, a)
+	}
+	for len(pop) < n {
+		g := attack.Genome{
+			Aggressors:  1 + rng.Intn(attack.MaxAggressors),
+			Spacing:     1 + rng.Intn(attack.MaxSpacing),
+			DecoySpread: 1 << rng.Intn(12),
+		}
+		slots := 1 + rng.Intn(12)
+		for i := 0; i < slots; i++ {
+			g.Slots = append(g.Slots, randomSlot(rng, g.Aggressors))
+		}
+		pop = append(pop, repair(g))
+	}
+	return pop
+}

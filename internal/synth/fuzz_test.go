@@ -1,0 +1,77 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"impress/internal/attack"
+	"impress/internal/dram"
+	"impress/internal/stats"
+	"impress/internal/trace"
+)
+
+// FuzzMutate locks the mutation operators' closure property: any
+// mutation sequence applied to a valid genome yields a genome that
+// validates, round-trips its canonical encoding, compiles to a harness
+// pattern, and renders through the v2 trace encoder to bytes Decode
+// accepts and a replay generator that paces forward without panicking.
+func FuzzMutate(f *testing.F) {
+	f.Add(uint64(1), uint(1))
+	f.Add(uint64(2), uint(8))
+	f.Add(uint64(0xdeadbeef), uint(64))
+	f.Add(uint64(42), uint(200))
+	f.Fuzz(func(t *testing.T, seed uint64, steps uint) {
+		rng := stats.NewRand(seed)
+		pop := seedPopulation(rng, 6)
+		g := pop[int(seed%uint64(len(pop)))]
+		for i := uint(0); i < steps%256; i++ {
+			g = Mutate(rng, g)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("mutated genome invalid: %v\n%s", err, g)
+		}
+		spec := g.String()
+		back, err := attack.ParseGenome(spec)
+		if err != nil {
+			t.Fatalf("canonical encoding does not parse: %v\n%s", err, spec)
+		}
+		if back.String() != spec {
+			t.Fatalf("encoding does not round-trip: %q -> %q", spec, back.String())
+		}
+
+		// Harness pattern: the schedule must pace strictly forward.
+		tm := dram.DDR5()
+		p, err := attack.NewProgram(g, tm)
+		if err != nil {
+			t.Fatalf("NewProgram: %v", err)
+		}
+		var now dram.Tick
+		for i := 0; i < 64; i++ {
+			acc := p.Next(now + 1)
+			if acc.ActAt <= now {
+				t.Fatalf("access %d at %d does not advance past %d", i, acc.ActAt, now)
+			}
+			if acc.Row < 0 || acc.Row >= 1<<12 {
+				t.Fatalf("access %d row %d outside the per-core range", i, acc.Row)
+			}
+			now = acc.ActAt
+		}
+
+		// Trace rendering: record a small trace and decode it back.
+		w, err := trace.WorkloadByName("attack:" + attack.SynthSpecPrefix + spec)
+		if err != nil {
+			t.Fatalf("workload: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := trace.RecordTo(t.Context(), w, 1, 256, 1, &buf); err != nil {
+			t.Fatalf("RecordTo: %v", err)
+		}
+		tr, err := trace.Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode rejected rendered trace: %v", err)
+		}
+		if got := len(tr.PerCore[0]); got != 256 {
+			t.Fatalf("decoded %d requests, want 256", got)
+		}
+	})
+}

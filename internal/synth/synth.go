@@ -1,0 +1,133 @@
+// Package synth breeds adversarial attack traces: a deterministic
+// evolutionary search over the attack.Genome space, scored by the
+// security harness against one registered tracker. The search asks
+// "what is the worst trace an adaptive attacker could run against this
+// defense?" — the paper's five hand-written patterns are lower bounds
+// on attacker capability, and the synthesized champions tighten them
+// into searched bounds, per tracker.
+//
+// Determinism is the core contract: the whole search runs on the
+// repository's seeded RNG streams (stats.Rand), fitness evaluations are
+// pure functions of their resultstore.AttackSpec, and selection breaks
+// ties canonically, so one (tracker, seed, budget) triple names exactly
+// one champion on every machine. Evaluations flow through an Evaluator
+// — in practice the experiments.Runner attack path — so identical
+// genomes across generations, restarts and fleet shards are cache hits
+// and a re-run against a warm store simulates nothing.
+package synth
+
+import (
+	"context"
+	"fmt"
+
+	"impress/internal/attack"
+	"impress/internal/errs"
+	"impress/internal/experiments"
+	"impress/internal/resultstore"
+	"impress/internal/security"
+	"impress/internal/trackers"
+)
+
+// Evaluator scores evaluation specs; results arrive in spec order.
+// *experiments.Runner satisfies it (memoized, store-backed, parallel);
+// the labd client adapter satisfies it remotely.
+type Evaluator interface {
+	EvaluateAttacks(ctx context.Context, specs []resultstore.AttackSpec) ([]security.Result, error)
+}
+
+// Default search budget: small enough for CI smoke runs, large enough
+// to beat every paper pattern on the exploitable trackers.
+const (
+	DefaultPopulation  = 24
+	DefaultGenerations = 12
+	DefaultTournamentK = 3
+)
+
+// Config parameterizes one synthesis run.
+type Config struct {
+	// Tracker is the registered tracker to breed against.
+	Tracker string
+	// Seed seeds the search's RNG stream (mutation, crossover,
+	// selection). It does not affect fitness evaluation, which runs
+	// under the shared zoo evaluation defaults.
+	Seed uint64
+	// Population, Generations and TournamentK size the search; zero
+	// means the package default.
+	Population  int
+	Generations int
+	TournamentK int
+	// Evaluator scores candidate genomes. Required.
+	Evaluator Evaluator
+	// OnGeneration, when non-nil, receives per-generation statistics as
+	// the search progresses.
+	OnGeneration func(GenStats)
+}
+
+// GenStats summarizes one evaluated generation.
+type GenStats struct {
+	Gen int
+	// Best and Mean are peak-damage fitness over the generation.
+	Best, Mean float64
+	// Champion is the generation's best genome (canonical form).
+	Champion string
+}
+
+// Report is a completed search's outcome.
+type Report struct {
+	Tracker string
+	// Champion is the best genome found (canonical form), and
+	// ChampionSpec/ChampionKey its evaluation spec and content key —
+	// the identity archive entries are named by.
+	Champion     string
+	ChampionSpec resultstore.AttackSpec
+	ChampionKey  string
+	// ChampionDamage and ChampionSlowdown are the champion's margins.
+	ChampionDamage   float64
+	ChampionSlowdown float64
+	// PaperBestPattern and PaperBestDamage identify the worst paper
+	// pattern against the same tracker — the baseline to beat.
+	PaperBestPattern string
+	PaperBestDamage  float64
+	// Generations is the number of generations evaluated; Evaluated
+	// counts distinct genome evaluations requested (cache hits
+	// included).
+	Generations int
+	Evaluated   int
+	History     []GenStats
+}
+
+// BeatsPaper reports whether the champion is strictly worse for the
+// defender than every paper pattern.
+func (r Report) BeatsPaper() bool { return r.ChampionDamage > r.PaperBestDamage }
+
+// normalize applies defaults and validates.
+func (c Config) normalize() (Config, error) {
+	if _, ok := trackers.ByName(c.Tracker); !ok {
+		return c, fmt.Errorf("synth: %w: unknown tracker %q (have %v)",
+			errs.ErrBadSpec, c.Tracker, trackers.Names())
+	}
+	if c.Evaluator == nil {
+		return c, fmt.Errorf("synth: %w: config needs an evaluator", errs.ErrBadSpec)
+	}
+	if c.Population == 0 {
+		c.Population = DefaultPopulation
+	}
+	if c.Generations == 0 {
+		c.Generations = DefaultGenerations
+	}
+	if c.TournamentK == 0 {
+		c.TournamentK = DefaultTournamentK
+	}
+	if c.Population < 2 || c.Generations < 1 || c.TournamentK < 1 {
+		return c, fmt.Errorf("synth: %w: population %d / generations %d / tournament %d out of range",
+			errs.ErrBadSpec, c.Population, c.Generations, c.TournamentK)
+	}
+	return c, nil
+}
+
+// genomeSpec is the one place a genome becomes an evaluation spec, so
+// the search, the attackzoo table and the archive regression tier key
+// identically.
+func genomeSpec(tracker string, g attack.Genome) resultstore.AttackSpec {
+	return experiments.ZooAttackSpec(tracker, attack.SynthSpecPrefix+g.String())
+}

@@ -1,11 +1,8 @@
 package trace
 
 import (
-	"fmt"
-
 	"impress/internal/attack"
 	"impress/internal/dram"
-	"impress/internal/errs"
 	"impress/internal/memctrl"
 )
 
@@ -27,38 +24,21 @@ const attackRowBase = 1 << 17
 // attackRowsPerCore spaces the per-core aggressor row ranges.
 const attackRowsPerCore = 1 << 12
 
-// AttackPatternNames lists the patterns NewAttackWorkload accepts, in
-// "attack:<name>" workload-spec order.
+// AttackPatternNames lists the paper patterns NewAttackWorkload accepts
+// in "attack:<name>" workload-spec order; it additionally accepts
+// "synth:<genome>" specs (attack.BySpec resolves both).
 func AttackPatternNames() []string {
-	return []string{"hammer", "rowpress", "decoy", "manysided", "interleaved"}
+	return attack.PaperPatternNames()
 }
 
-// newAttackPattern builds the named pattern with the paper's DDR5
-// timings. Rows are pattern-local; the adapter offsets them into the
-// core's private range.
+// newAttackPattern builds the pattern named by a spec with the paper's
+// DDR5 timings — a paper pattern name or a "synth:<genome>" canonical
+// genome, both resolved by attack.BySpec. Rows are pattern-local; the
+// adapter offsets them into the core's private range (synthesized
+// genomes confine themselves to [0, attackRowsPerCore) by
+// construction).
 func newAttackPattern(name string, t dram.Timings) (attack.Pattern, error) {
-	switch name {
-	case "hammer":
-		// Double-sided Rowhammer: alternating rows force a bank conflict
-		// (and therefore a fresh ACT) on every access even under the
-		// controller's open-page policy.
-		return &attack.ManySided{Rows: []int64{1, 3}, Timings: t}, nil
-	case "rowpress":
-		return &attack.RowPress{Row: 1, TON: t.TREFI, Timings: t}, nil
-	case "decoy":
-		return &attack.Decoy{Row: 1, DecoyRow: 1024, Timings: t}, nil
-	case "manysided":
-		rows := make([]int64, 16)
-		for i := range rows {
-			rows[i] = int64(2*i + 1)
-		}
-		return &attack.ManySided{Rows: rows, Timings: t}, nil
-	case "interleaved":
-		return &attack.InterleavedRHRP{Row: 1, BurstLen: 8, HoldTON: t.TREFI, Timings: t}, nil
-	default:
-		return nil, fmt.Errorf("trace: %w: unknown attack pattern %q (have %v)",
-			errs.ErrUnknownWorkload, name, AttackPatternNames())
-	}
+	return attack.BySpec(name, t)
 }
 
 // NewAttackWorkload returns the workload "attack:<pattern>": every core

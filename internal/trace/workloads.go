@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"impress/internal/attack"
 	"impress/internal/errs"
 )
 
@@ -121,9 +122,16 @@ func Workloads() []Workload {
 
 // WorkloadByName resolves a workload spec: one of the 20 built-in
 // workload names, an "attack:<pattern>" adversarial workload (see
-// AttackPatternNames), or a "mix:<entry>,<entry>,..." per-core co-run
-// assignment (see ParseMix). Recorded trace headers store these specs, so
-// any name a simulation ran under resolves back to a live equivalent.
+// AttackPatternNames; "attack:synth:<genome>" runs a synthesized
+// genome), an "attackzoo:<name>" archived champion, or a
+// "mix:<entry>,<entry>,..." per-core co-run assignment (see ParseMix).
+// Recorded trace headers store these specs, so any name a simulation ran
+// under resolves back to a live equivalent.
+//
+// "attackzoo:" is pure indirection: the zoo manifest's genome resolves
+// to the same canonical "attack:synth:<genome>" workload (and the same
+// result-store key) as spelling the genome out — an archive name is an
+// alias, never a distinct cache entry.
 func WorkloadByName(name string) (Workload, error) {
 	if rest, ok := strings.CutPrefix(name, "mix:"); ok {
 		return ParseMix(rest)
@@ -131,13 +139,20 @@ func WorkloadByName(name string) (Workload, error) {
 	if rest, ok := strings.CutPrefix(name, "attack:"); ok {
 		return NewAttackWorkload(rest)
 	}
+	if rest, ok := strings.CutPrefix(name, "attackzoo:"); ok {
+		e, err := attack.ReadZooEntry(attack.DefaultZooDir(), rest)
+		if err != nil {
+			return Workload{}, err
+		}
+		return NewAttackWorkload(attack.SynthSpecPrefix + e.Genome)
+	}
 	for _, w := range Workloads() {
 		if w.Name == name {
 			return w, nil
 		}
 	}
 	return Workload{}, fmt.Errorf(
-		"trace: %w %q (want a built-in name, \"mix:a,b,...\" or \"attack:<pattern>\")",
+		"trace: %w %q (want a built-in name, \"mix:a,b,...\", \"attack:<pattern>\" or \"attackzoo:<name>\")",
 		errs.ErrUnknownWorkload, name)
 }
 

@@ -2,6 +2,7 @@ package trackers
 
 import (
 	"fmt"
+	"sort"
 
 	"impress/internal/clm"
 	"impress/internal/errs"
@@ -26,9 +27,14 @@ type SlotState struct {
 type State struct {
 	Kind string `json:"kind"`
 
-	// Counter tables (graphene, mithril): occupied slots in index order.
+	// Counter tables (graphene, mithril, abacus): occupied slots in index
+	// order. Hydra reuses the field for its per-row exact counters, keyed
+	// by row (Slot unused) and sorted by row for deterministic encoding.
 	Slots     []SlotState `json:"slots,omitempty"`
 	Spillover clm.EACT    `json:"spillover,omitempty"` // graphene only
+
+	// Groups holds hydra's non-zero GCT counters (Slot = group index).
+	Groups []SlotState `json:"groups,omitempty"`
 
 	// Probabilistic trackers (para, mint): the private RNG stream.
 	RNG [4]uint64 `json:"rng"`
@@ -144,6 +150,73 @@ func (m *MINT) RestoreState(s State) error {
 	m.sar = s.SAR
 	m.sarValid = s.SARValid
 	m.mitigations = s.Mitigations
+	return nil
+}
+
+// Snapshot implements Snapshotter.
+func (a *ABACuS) Snapshot() State {
+	return State{
+		Kind:        a.Name(),
+		Slots:       snapshotSlots(a.slotUsed, a.slotRow, a.slotCount),
+		Mitigations: a.mitigations,
+	}
+}
+
+// RestoreState implements Snapshotter.
+func (a *ABACuS) RestoreState(s State) error {
+	if s.Kind != a.Name() {
+		return restoreKindErr(a.Name(), s.Kind)
+	}
+	a.ResetWindow()
+	if err := restoreSlots(s.Slots, a.rows, a.slotUsed, a.slotRow, a.slotCount); err != nil {
+		return err
+	}
+	a.mitigations = s.Mitigations
+	return nil
+}
+
+// Snapshot implements Snapshotter. GCT counters are captured sparsely by
+// group index; per-row exact counters go into Slots keyed by row, sorted
+// so the encoding is deterministic (the backing store is a map).
+func (h *Hydra) Snapshot() State {
+	s := State{Kind: h.Name(), Mitigations: h.mitigations}
+	for g, c := range h.gct {
+		if c != 0 {
+			s.Groups = append(s.Groups, SlotState{Slot: g, Count: c})
+		}
+	}
+	rows := make([]int64, 0, len(h.rows))
+	for row := range h.rows {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+	for _, row := range rows {
+		s.Slots = append(s.Slots, SlotState{Row: row, Count: h.rows[row]})
+	}
+	return s
+}
+
+// RestoreState implements Snapshotter.
+func (h *Hydra) RestoreState(s State) error {
+	if s.Kind != h.Name() {
+		return restoreKindErr(h.Name(), s.Kind)
+	}
+	h.ResetWindow()
+	for _, g := range s.Groups {
+		if g.Slot < 0 || g.Slot >= len(h.gct) {
+			return fmt.Errorf("trackers: %w: checkpoint group %d out of range [0,%d)",
+				errs.ErrBadSpec, g.Slot, len(h.gct))
+		}
+		h.gct[g.Slot] = g.Count
+	}
+	for _, r := range s.Slots {
+		if _, dup := h.rows[r.Row]; dup {
+			return fmt.Errorf("trackers: %w: checkpoint row %d duplicated",
+				errs.ErrBadSpec, r.Row)
+		}
+		h.rows[r.Row] = r.Count
+	}
+	h.mitigations = s.Mitigations
 	return nil
 }
 

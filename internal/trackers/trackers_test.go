@@ -384,8 +384,13 @@ func TestTrackerInterfaceCompliance(t *testing.T) {
 		NewPARA(4000, rng.Split()),
 		NewMithril(4000, 80),
 		NewMINT(80, rng.Split()),
+		NewHydra(4000),
+		NewABACuS(4000),
 	}
-	wantInDRAM := map[string]bool{"graphene": false, "para": false, "mithril": true, "mint": true}
+	wantInDRAM := map[string]bool{
+		"graphene": false, "para": false, "mithril": true, "mint": true,
+		"hydra": false, "abacus": false,
+	}
 	for _, tr := range all {
 		if tr.Name() == "" {
 			t.Fatal("empty tracker name")
@@ -405,6 +410,7 @@ func TestZeroWeightPanics(t *testing.T) {
 	for _, tr := range []Tracker{
 		NewGraphene(4000), NewPARA(4000, rng.Split()),
 		NewMithril(4000, 80), NewMINT(80, rng.Split()),
+		NewHydra(4000), NewABACuS(4000),
 	} {
 		func() {
 			defer func() {

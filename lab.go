@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"sync"
 
+	"impress/internal/attack"
 	"impress/internal/errs"
 	"impress/internal/experiments"
 	"impress/internal/resultstore"
 	"impress/internal/security"
 	"impress/internal/sim"
+	"impress/internal/synth"
 	"impress/internal/trace"
 )
 
@@ -47,15 +49,21 @@ type Progress = experiments.Progress
 // one of ProgressSpecCacheHit (served from the persistent store) or
 // ProgressSpecFinished (simulated), so started == cache-hit + finished
 // when a run completes; at parallelism 1 the full sequence is
-// deterministic.
+// deterministic. Security-harness attack evaluations (sweeps over
+// attack specs, adversarial synthesis) follow the same lifecycle under
+// the distinct ProgressAttack* kinds, so counting ProgressSpec* events
+// always counts performance simulations and nothing else.
 type ProgressKind = experiments.ProgressKind
 
 // The progress event kinds.
 const (
-	ProgressSpecStarted   = experiments.ProgressSpecStarted
-	ProgressSpecCacheHit  = experiments.ProgressSpecCacheHit
-	ProgressSpecFinished  = experiments.ProgressSpecFinished
-	ProgressTableRendered = experiments.ProgressTableRendered
+	ProgressSpecStarted    = experiments.ProgressSpecStarted
+	ProgressSpecCacheHit   = experiments.ProgressSpecCacheHit
+	ProgressSpecFinished   = experiments.ProgressSpecFinished
+	ProgressTableRendered  = experiments.ProgressTableRendered
+	ProgressAttackStarted  = experiments.ProgressAttackStarted
+	ProgressAttackCacheHit = experiments.ProgressAttackCacheHit
+	ProgressAttackFinished = experiments.ProgressAttackFinished
 )
 
 // ---- The Lab ----
@@ -354,6 +362,65 @@ func (l *Lab) newRunner(scale ExperimentScale) *ExperimentRunner {
 	}
 	return r
 }
+
+// ---- Adversarial attack synthesis (DESIGN.md §13) ----
+
+// SynthConfig configures an adversarial synthesis search; see
+// Lab.Synthesize.
+type SynthConfig = synth.Config
+
+// SynthReport is a completed search's outcome: the champion genome, the
+// exact evaluation spec its margins were measured under, and the paper
+// baseline it is compared against.
+type SynthReport = synth.Report
+
+// SynthGenStats is one generation's progress sample (best/mean fitness,
+// current champion).
+type SynthGenStats = synth.GenStats
+
+// SynthEvaluator is the synthesis fitness seam: anything that evaluates
+// attack specs in batch. A Lab-backed experiment runner satisfies it
+// locally; a labd client satisfies it against a remote daemon.
+type SynthEvaluator = synth.Evaluator
+
+// AttackZooEntry is one archived champion's manifest in the attack zoo
+// (testdata/attackzoo by default): the genome, the target it was bred
+// against, and the margins recorded at archive time.
+type AttackZooEntry = attack.ZooEntry
+
+// Synthesize breeds an adversarial attack trace against one registered
+// tracker: a deterministic evolutionary search over compact attack
+// genomes, scored by the security harness. One (tracker, seed, budget)
+// triple names exactly one champion. When cfg.Evaluator is nil the Lab
+// supplies its own evaluator carrying the Lab's store and parallelism,
+// so identical genomes — within a search, across searches, across
+// processes sharing a store — evaluate once, and a re-run search
+// resumes warm. Invalid configs return errors matching ErrBadSpec;
+// cancellation stops the search at the next evaluation boundary with
+// every completed evaluation persisted.
+func (l *Lab) Synthesize(ctx context.Context, cfg SynthConfig) (SynthReport, error) {
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = l.newRunner(experiments.QuickScale())
+	}
+	return synth.Synthesize(ctx, cfg)
+}
+
+// ArchiveAttack persists a completed search's champion into the attack
+// zoo at dir (DefaultAttackZooDir() for the repository's regression
+// zoo): the rendered replayable trace plus the manifest that
+// reconstructs the exact evaluation its margins were measured under.
+// Archiving the same champion twice converges on the same entry.
+func (l *Lab) ArchiveAttack(ctx context.Context, dir string, rep SynthReport) (AttackZooEntry, error) {
+	return synth.Archive(ctx, dir, rep)
+}
+
+// DefaultAttackZooDir locates the archive directory: $IMPRESS_ATTACKZOO
+// when set, else the repository's testdata/attackzoo.
+func DefaultAttackZooDir() string { return attack.DefaultZooDir() }
+
+// AttackZooEntries lists every archived attack in dir, sorted by name.
+// A missing directory is an empty zoo, not an error.
+func AttackZooEntries(dir string) ([]AttackZooEntry, error) { return attack.ZooEntries(dir) }
 
 // Record drains perCore requests per core from the workload's
 // generators into a replayable trace (see RecordTrace for the
